@@ -1,0 +1,50 @@
+"""Fig. 1: expected additional coverage EAC(k).
+
+Paper series: EAC(1) ~ 0.41, decreasing, < 5% for k >= 4.  Also checks the
+text's closed-form quotes (0.61 max, 0.41 mean, 59% contention).
+"""
+
+import pytest
+
+from repro.analysis.integrals import (
+    expected_contention_probability,
+    max_additional_coverage_fraction,
+    mean_additional_coverage_fraction,
+)
+from repro.experiments.figures import fig01
+
+from conftest import run_once
+
+
+def test_fig1_eac_series(benchmark):
+    series = run_once(benchmark, fig01.run, max_k=10, trials=2000, seed=0)
+    print()
+    print(fig01.format_table(series))
+
+    # EAC(1) ~ 0.41 (the mean additional coverage).
+    assert series[1] == pytest.approx(fig01.PAPER_EAC1, abs=0.02)
+    # EAC(2) ~ 0.187 (the A(n) plateau constant).
+    assert series[2] == pytest.approx(0.187, abs=0.02)
+    # Monotone decreasing.
+    values = [series[k] for k in sorted(series)]
+    assert all(a > b for a, b in zip(values, values[1:]))
+    # Below 5% from k = 4 on.
+    for k in range(fig01.PAPER_TAIL_K, 11):
+        assert series[k] < fig01.PAPER_TAIL_BOUND
+
+
+def test_section_2_2_closed_forms(benchmark):
+    def closed_forms():
+        return (
+            max_additional_coverage_fraction(),
+            mean_additional_coverage_fraction(),
+            expected_contention_probability(),
+        )
+
+    max_frac, mean_frac, contention = run_once(benchmark, closed_forms)
+    print(f"\nmax additional coverage  {max_frac:.4f} (paper ~0.61)")
+    print(f"mean additional coverage {mean_frac:.4f} (paper ~0.41)")
+    print(f"expected contention      {contention:.4f} (paper ~0.59)")
+    assert max_frac == pytest.approx(0.609, abs=0.002)
+    assert mean_frac == pytest.approx(0.41, abs=0.005)
+    assert contention == pytest.approx(0.59, abs=0.005)

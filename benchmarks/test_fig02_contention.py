@@ -1,0 +1,32 @@
+"""Fig. 2: contention-free probabilities cf(n, k).
+
+Paper shapes: cf(n, 0) > 0.8 for n >= 6; cf(n, 1) drops sharply with n;
+cf(n, k) negligible for k >= 2; cf(n, n-1) identically 0.
+"""
+
+from repro.experiments.figures import fig02
+
+from conftest import run_once
+
+
+def test_fig2_contention_free_probabilities(benchmark):
+    series = run_once(benchmark, fig02.run, max_n=10, trials=5000, seed=0)
+    print()
+    print(fig02.format_table(series))
+
+    # cf(2, 0) matches the 59% pairwise-contention integral.
+    assert abs(series[2][0] - 0.59) < 0.03
+    # All n contended grows past 0.8 from n = 6.
+    for n in range(6, 11):
+        assert series[n][0] > 0.8
+    # cf(n, 0) increases with n (denser -> more contention).
+    cf0 = [series[n][0] for n in range(2, 11)]
+    assert all(a <= b + 0.03 for a, b in zip(cf0, cf0[1:]))
+    # cf(n, 1) drops sharply.
+    assert series[10][1] < series[3][1]
+    # k >= 2 contention-free hosts are rare for crowded n.
+    for n in range(6, 11):
+        assert sum(series[n].get(k, 0.0) for k in range(2, n + 1)) < 0.05
+    # Exact structural zero: cf(n, n-1) = 0.
+    for n in range(2, 11):
+        assert series[n][n - 1] == 0.0

@@ -1,0 +1,54 @@
+"""Fig. 7: adaptive counter (AC) vs fixed counter (C = 2, 4, 6).
+
+Paper reading: the fixed scheme has the RE/SRB dilemma -- C = 2 gives
+satisfactory RE and SRB on dense maps but RE "degrades sharply" when
+sparse; C = 6 raises RE but SRB degrades on all maps.  AC resolves it: RE
+stays high everywhere, SRB comparable to C = 2 on dense maps.  Latency
+(7b): AC smallest on the densest maps; slightly above C = 2 on sparse maps
+(it buys RE there).
+"""
+
+from conftest import run_once
+from repro.experiments.figures import fig07
+
+DENSE = 1
+SPARSE = 9
+
+
+def test_fig7_counter_dilemma_and_resolution(benchmark, bench_grid):
+    maps, n = bench_grid
+    result = run_once(benchmark, fig07.run, maps=maps, num_broadcasts=n)
+    print()
+    print(result.table(metrics=("re", "srb", "latency")))
+
+    # --- The fixed-threshold dilemma -------------------------------
+    # C = 2 collapses on the sparse map...
+    assert result.value_at("C=2", SPARSE, "re") < 0.8
+    # ...while fine and thrifty on the dense map.
+    assert result.value_at("C=2", DENSE, "re") > 0.95
+    assert result.value_at("C=2", DENSE, "srb") > 0.5
+    # C = 6 keeps RE but loses the saving everywhere.
+    assert result.value_at("C=6", SPARSE, "re") > 0.9
+    for units in maps:
+        assert result.value_at("C=6", units, "srb") < 0.35
+
+    # --- AC resolves it --------------------------------------------
+    for units in maps:
+        assert result.value_at("AC", units, "re") > 0.9
+    # Sparse-map RE: AC far above C = 2.
+    assert (
+        result.value_at("AC", SPARSE, "re")
+        > result.value_at("C=2", SPARSE, "re") + 0.1
+    )
+    # Dense-map SRB comparable to C = 2 (within 15 points).
+    assert (
+        result.value_at("AC", DENSE, "srb")
+        >= result.value_at("C=2", DENSE, "srb") - 0.15
+    )
+
+    # --- Fig. 7b: latency ------------------------------------------
+    # On the densest map AC's latency beats the loose threshold C = 6.
+    assert (
+        result.value_at("AC", DENSE, "latency")
+        < result.value_at("C=6", DENSE, "latency")
+    )

@@ -1,0 +1,38 @@
+"""Fig. 9: comparing A(n) threshold functions for the adaptive location
+scheme.
+
+Paper reading: (6,12), (8,12) and (8,10) all deliver satisfactory RE;
+(6,12) is picked for better SRB behaviour.  Candidates with small n1 force
+fewer rebroadcasts and can lose RE on sparse maps.
+"""
+
+from conftest import run_once
+from repro.experiments.figures import fig09
+
+MAPS = (1, 5, 9)
+SPARSE = 9
+GOOD_PAIRS = ("(6,12)", "(8,12)", "(8,10)")
+
+
+def test_fig9_a_n_candidates(benchmark):
+    result = run_once(
+        benchmark, fig09.run, maps=MAPS, num_broadcasts=30
+    )
+    print()
+    print(result.table())
+
+    # The paper's "satisfactory" pairs keep RE high on every map.
+    for pair in GOOD_PAIRS:
+        for units in MAPS:
+            assert result.value_at(pair, units, "re") > 0.9, (pair, units)
+
+    # Aggressive small-n1 candidates suppress more on the dense map...
+    assert (
+        result.value_at("(2,8)", 1, "srb")
+        >= result.value_at("(8,12)", 1, "srb") - 0.05
+    )
+    # ...and never beat the chosen pair's sparse-map RE by a margin.
+    assert (
+        result.value_at("(2,8)", SPARSE, "re")
+        <= result.value_at("(6,12)", SPARSE, "re") + 0.03
+    )

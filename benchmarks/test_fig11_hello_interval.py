@@ -1,0 +1,54 @@
+"""Fig. 11: neighbor-coverage RE vs hello interval and host speed.
+
+Paper reading: on sparse maps a long hello interval significantly degrades
+RE, especially at high mobility; on small maps mobility has little impact
+(hosts cannot roam far from the source).
+"""
+
+import os
+
+from conftest import run_once
+from repro.experiments.figures import fig11
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+MAPS = (5, 9) if not FULL else (5, 7, 9, 11)
+SPEEDS = (20.0, 80.0) if not FULL else (20.0, 40.0, 60.0, 80.0)
+INTERVALS = (1.0, 10.0, 30.0) if not FULL else (1.0, 5.0, 10.0, 20.0, 30.0)
+
+
+def test_fig11_hello_interval_vs_speed(benchmark):
+    panels = run_once(
+        benchmark,
+        fig11.run,
+        maps=MAPS,
+        speeds=SPEEDS,
+        hello_intervals=INTERVALS,
+        num_broadcasts=30,
+    )
+    print()
+    for units, panel in panels.items():
+        print(panel.table(metrics=("re", "srb")))
+        print()
+
+    sparse = panels[9]
+    fast = SPEEDS[-1]
+    slow = SPEEDS[0]
+    # Long hello interval degrades RE at high speed on the sparse map.
+    assert (
+        sparse.value_at("hello=30s", fast, "re")
+        < sparse.value_at("hello=1s", fast, "re") - 0.05
+    )
+    # The degradation is worse at high speed than at low speed.
+    drop_fast = (
+        sparse.value_at("hello=1s", fast, "re")
+        - sparse.value_at("hello=30s", fast, "re")
+    )
+    drop_slow = (
+        sparse.value_at("hello=1s", slow, "re")
+        - sparse.value_at("hello=30s", slow, "re")
+    )
+    assert drop_fast >= drop_slow - 0.05
+    # Fresh hellos keep RE reasonable everywhere.
+    for units, panel in panels.items():
+        for speed in SPEEDS:
+            assert panel.value_at("hello=1s", speed, "re") > 0.8, (units, speed)

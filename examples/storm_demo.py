@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The broadcast storm, made visible.
+
+Floods a single-cell network (every host in range of every other) at
+increasing densities and prints how redundancy, contention and collision
+grow with host count -- the paper's Section 2.2 phenomena reproduced on the
+full simulator rather than in closed form.  Then shows the counter-based
+scheme taming the same workload.
+
+Run:  python examples/storm_demo.py
+"""
+
+from repro import ScenarioConfig, run_broadcast_simulation
+
+
+def run(scheme: str, hosts: int, **params) -> dict:
+    config = ScenarioConfig(
+        scheme=scheme,
+        scheme_params=params,
+        map_units=1,  # single cell: everyone hears everyone
+        num_hosts=hosts,
+        num_broadcasts=20,
+        max_speed_kmh=10.0,
+        seed=99,
+    )
+    result = run_broadcast_simulation(config)
+    stats = result.channel_stats
+    receptions = stats.deliveries + stats.collisions
+    return {
+        "re": result.re,
+        "tx": stats.transmissions,
+        "collision_share": stats.collisions / receptions if receptions else 0.0,
+        "latency_ms": result.latency * 1000,
+    }
+
+
+def main() -> None:
+    print("Flooding a single radio cell (1x1 map): the storm builds\n")
+    print(f"{'hosts':>6} {'RE':>7} {'tx':>6} {'collided rx':>12} {'latency':>9}")
+    for hosts in (10, 20, 40, 80):
+        row = run("flooding", hosts)
+        print(
+            f"{hosts:>6} {row['re']:>7.3f} {row['tx']:>6} "
+            f"{row['collision_share']:>11.1%} {row['latency_ms']:>7.1f}ms"
+        )
+
+    print("\nSame workload under the counter-based scheme (C = 3):\n")
+    print(f"{'hosts':>6} {'RE':>7} {'tx':>6} {'collided rx':>12} {'latency':>9}")
+    for hosts in (10, 20, 40, 80):
+        row = run("counter", hosts, threshold=3)
+        print(
+            f"{hosts:>6} {row['re']:>7.3f} {row['tx']:>6} "
+            f"{row['collision_share']:>11.1%} {row['latency_ms']:>7.1f}ms"
+        )
+    print(
+        "\nEvery host rebroadcasting buys nothing in a single cell -- the\n"
+        "counter threshold suppresses the redundant transmissions and the\n"
+        "collision share falls with them."
+    )
+
+
+if __name__ == "__main__":
+    main()

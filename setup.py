@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment's setuptools (65.x) predates the integrated bdist_wheel
+needed for PEP 517 editable installs without the ``wheel`` package, which is
+not installed here.  This shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` fall back to the legacy editable path.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

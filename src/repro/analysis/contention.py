@@ -1,0 +1,80 @@
+"""Contention-free probabilities ``cf(n, k)`` -- paper Fig. 2.
+
+Setup (Section 2.2.2): host A transmits; ``n`` receivers are uniform in A's
+radio disk and all attempt to rebroadcast at around the same time.  Two
+receivers *contend* when they are within radio range of each other.  A
+receiver is *contention-free* when no other receiver is in its range --
+an isolated vertex of the unit-disk graph over the n receivers.
+
+``cf(n, k)`` is the probability that exactly ``k`` of the ``n`` receivers are
+contention-free.  Structural facts the paper notes and our tests assert:
+``cf(n, n-1) = 0`` (if n-1 vertices are isolated, so is the n-th) and
+``cf(n, 0)`` grows past 0.8 once ``n >= 6``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "contention_free_counts",
+    "contention_free_probabilities",
+    "count_isolated",
+]
+
+
+def count_isolated(
+    points: Sequence[Tuple[float, float]], radius: float
+) -> int:
+    """Number of points with no other point within ``radius``."""
+    rr = radius * radius
+    n = len(points)
+    contended = [False] * n
+    for i in range(n):
+        xi, yi = points[i]
+        for j in range(i + 1, n):
+            dx = xi - points[j][0]
+            dy = yi - points[j][1]
+            if dx * dx + dy * dy <= rr:
+                contended[i] = True
+                contended[j] = True
+    return contended.count(False)
+
+
+def contention_free_counts(
+    n: int,
+    trials: int = 10000,
+    rng: Optional[random.Random] = None,
+    radius: float = 1.0,
+) -> List[int]:
+    """Histogram over k of "exactly k contention-free receivers among n".
+
+    Returns a list ``counts`` of length ``n + 1`` where ``counts[k]`` is the
+    number of trials with exactly k isolated receivers.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if rng is None:
+        rng = random.Random(0)
+    counts = [0] * (n + 1)
+    two_pi = 2.0 * math.pi
+    for _ in range(trials):
+        points = []
+        for _ in range(n):
+            r = radius * math.sqrt(rng.random())
+            theta = rng.uniform(0.0, two_pi)
+            points.append((r * math.cos(theta), r * math.sin(theta)))
+        counts[count_isolated(points, radius)] += 1
+    return counts
+
+
+def contention_free_probabilities(
+    n: int,
+    trials: int = 10000,
+    rng: Optional[random.Random] = None,
+) -> Dict[int, float]:
+    """``cf(n, k)`` for ``k = 0 .. n`` as probabilities (the Fig. 2 series)."""
+    counts = contention_free_counts(n, trials=trials, rng=rng)
+    return {k: c / trials for k, c in enumerate(counts)}

@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Two subcommands::
+
+    repro-manet run --scheme adaptive-counter --map 9 --broadcasts 100
+    repro-manet figure fig07 --broadcasts 50 --maps 3 7 11
+
+``run`` executes a single scenario and prints its summary line; ``figure``
+regenerates one of the paper's figures (fig01, fig02, fig05a-d, fig07,
+fig09, fig10, fig11, fig12, fig13) as a text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import (
+    fig01,
+    fig02,
+    fig05,
+    fig07,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+from repro.experiments.runner import run_broadcast_simulation
+from repro.net.host import HelloConfig
+from repro.schemes import SCHEME_REGISTRY
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-manet",
+        description="Reproduction of the adaptive broadcast-storm schemes "
+        "(Tseng, Ni & Shih, ICDCS 2001 / IEEE TC 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a single scenario")
+    run_p.add_argument(
+        "--scheme", default="adaptive-counter", choices=sorted(SCHEME_REGISTRY)
+    )
+    run_p.add_argument("--map", type=int, default=5, dest="map_units",
+                       help="map side in 500 m units (paper: 1..11)")
+    run_p.add_argument("--hosts", type=int, default=100)
+    run_p.add_argument("--broadcasts", type=int, default=100)
+    run_p.add_argument("--speed", type=float, default=None,
+                       help="max host speed km/h (default: 10 per map unit)")
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--counter-threshold", type=int, default=None)
+    run_p.add_argument("--location-threshold", type=float, default=None)
+    run_p.add_argument("--hello-interval", type=float, default=1.0)
+    run_p.add_argument("--dynamic-hello", action="store_true")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument(
+        "name",
+        choices=[
+            "fig01", "fig02", "fig05a", "fig05b", "fig05c", "fig05d",
+            "fig07", "fig09", "fig10", "fig11", "fig12", "fig13",
+        ],
+    )
+    fig_p.add_argument("--broadcasts", type=int, default=50)
+    fig_p.add_argument("--seed", type=int, default=1)
+    fig_p.add_argument("--maps", type=int, nargs="+", default=None,
+                       help="map sizes to sweep (default: the paper's grid)")
+    fig_p.add_argument("--chart", action="store_true",
+                       help="also render an ASCII chart of RE per series")
+    fig_p.add_argument("--csv", metavar="PATH", default=None,
+                       help="write the series to a CSV file")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a scheme x map grid and print RE/SRB"
+    )
+    sweep_p.add_argument("--schemes", nargs="+",
+                         default=["flooding", "adaptive-counter"],
+                         choices=sorted(SCHEME_REGISTRY))
+    sweep_p.add_argument("--maps", type=int, nargs="+", default=[1, 5, 9])
+    sweep_p.add_argument("--hosts", type=int, default=100)
+    sweep_p.add_argument("--broadcasts", type=int, default=30)
+    sweep_p.add_argument("--seeds", type=int, nargs="+", default=[1],
+                         help="multiple seeds aggregate with a 95%% CI")
+    sweep_p.add_argument("--json", metavar="PATH", default=None,
+                         help="also dump every run to a JSON file")
+    return parser
+
+
+def _render_extras(result, args) -> None:
+    """Optional chart / CSV output for a FigureResult."""
+    if getattr(args, "chart", False):
+        from repro.viz import line_chart
+
+        series = {
+            name: [(float(p.x), p.re) for p in points]
+            for name, points in result.series.items()
+        }
+        print()
+        print(line_chart(series, title=f"{result.figure} (RE)",
+                         y_range=(0.0, 1.0)))
+    if getattr(args, "csv", None):
+        from repro.experiments.io import write_figure_csv
+
+        write_figure_csv(result, args.csv)
+        print(f"\nwrote {args.csv}")
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    params = {}
+    if args.counter_threshold is not None:
+        params["threshold"] = args.counter_threshold
+    if args.location_threshold is not None:
+        params["threshold"] = args.location_threshold
+    hello = HelloConfig(interval=args.hello_interval, dynamic=args.dynamic_hello)
+    config = ScenarioConfig(
+        scheme=args.scheme,
+        scheme_params=params,
+        map_units=args.map_units,
+        num_hosts=args.hosts,
+        num_broadcasts=args.broadcasts,
+        max_speed_kmh=args.speed,
+        hello=hello,
+        seed=args.seed,
+    )
+    result = run_broadcast_simulation(config)
+    print(result.summary())
+    return 0
+
+
+def _show(result, args, metrics=("re", "srb")) -> None:
+    print(result.table(metrics=metrics))
+    _render_extras(result, args)
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    n = args.broadcasts
+    seed = args.seed
+    maps = tuple(args.maps) if args.maps else None
+
+    def kw(**extra):
+        out = {"num_broadcasts": n, "seed": seed}
+        if maps:
+            out["maps"] = maps
+        out.update(extra)
+        return out
+
+    name = args.name
+    if name == "fig01":
+        print(fig01.format_table(fig01.run(seed=seed)))
+    elif name == "fig02":
+        print(fig02.format_table(fig02.run(seed=seed)))
+    elif name == "fig05a":
+        _show(fig05.run_5a(**kw()), args)
+    elif name == "fig05b":
+        _show(fig05.run_5b(**kw()), args)
+    elif name == "fig05c":
+        _show(fig05.run_5c(**kw()), args)
+    elif name == "fig05d":
+        _show(fig05.run_5d(**kw()), args)
+    elif name == "fig07":
+        _show(fig07.run(**kw()), args, metrics=("re", "srb", "latency"))
+    elif name == "fig09":
+        _show(fig09.run(**kw()), args)
+    elif name == "fig10":
+        _show(fig10.run(**kw()), args, metrics=("re", "srb", "latency"))
+    elif name == "fig11":
+        for units, panel in fig11.run(**kw()).items():
+            _show(panel, args, metrics=("re",))
+            print()
+    elif name == "fig12":
+        _show(fig12.run(**kw()), args, metrics=("re", "srb", "hellos"))
+    elif name == "fig13":
+        _show(fig13.run(**kw()), args, metrics=("re", "srb"))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.replication import replicate
+
+    rows = []
+    print(
+        f"{'scheme':<20} {'map':>4} {'RE':>16} {'SRB':>16} {'latency':>10}"
+    )
+    for scheme in args.schemes:
+        for units in args.maps:
+            config = ScenarioConfig(
+                scheme=scheme,
+                map_units=units,
+                num_hosts=args.hosts,
+                num_broadcasts=args.broadcasts,
+            )
+            result = replicate(config, seeds=args.seeds)
+            print(
+                f"{scheme:<20} {units:>4} {str(result.re):>16} "
+                f"{str(result.srb):>16} "
+                f"{result.latency.mean * 1000 if result.latency else float('nan'):>8.1f}ms"
+            )
+            rows.append((config, result))
+    if args.json:
+        import json
+
+        from repro.experiments.io import result_to_dict
+
+        payload = [
+            result_to_dict(run)
+            for _config, replicated in rows
+            for run in replicated.results
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run_single(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    return _run_figure(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Per-figure reproduction drivers.
+
+Each module regenerates the data behind one figure of the paper's
+evaluation; the pytest-benchmark files in ``benchmarks/`` call these and
+assert the qualitative shapes.  All drivers accept ``num_broadcasts`` /
+``seed`` / grid-reduction arguments so the same code scales from a quick CI
+run to a full paper-scale reproduction.
+"""
+
+from repro.experiments.figures.common import FigureResult, SeriesPoint
+from repro.experiments.figures import (
+    fig01,
+    fig02,
+    fig05,
+    fig07,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+
+__all__ = [
+    "FigureResult",
+    "SeriesPoint",
+    "fig01",
+    "fig02",
+    "fig05",
+    "fig07",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+]

@@ -1,0 +1,89 @@
+"""Shared result containers and sweep helpers for the figure drivers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_broadcast_simulation
+
+__all__ = [
+    "SeriesPoint",
+    "FigureResult",
+    "PAPER_MAPS",
+    "run_series_point",
+]
+
+#: The paper's map-size sweep (side length in 500 m units).
+PAPER_MAPS = (1, 3, 5, 7, 9, 11)
+
+
+@dataclass
+class SeriesPoint:
+    """One (x, metrics) point of a figure series."""
+
+    x: Any
+    re: float
+    srb: float
+    latency: float
+    hellos: int = 0
+
+    def metric(self, name: str) -> float:
+        value = getattr(self, name)
+        return float(value)
+
+
+@dataclass
+class FigureResult:
+    """All series of one reproduced figure."""
+
+    figure: str
+    x_label: str
+    series: Dict[str, List[SeriesPoint]] = field(default_factory=dict)
+
+    def add(self, series_name: str, point: SeriesPoint) -> None:
+        self.series.setdefault(series_name, []).append(point)
+
+    def xs(self, series_name: str) -> List[Any]:
+        return [p.x for p in self.series[series_name]]
+
+    def values(self, series_name: str, metric: str = "re") -> List[float]:
+        return [p.metric(metric) for p in self.series[series_name]]
+
+    def value_at(self, series_name: str, x: Any, metric: str = "re") -> float:
+        for point in self.series[series_name]:
+            if point.x == x:
+                return point.metric(metric)
+        raise KeyError(f"{self.figure}: no x={x!r} in series {series_name!r}")
+
+    def table(self, metrics: Sequence[str] = ("re", "srb")) -> str:
+        """Formatted text table, one row per (series, x)."""
+        lines = [f"== {self.figure} =="]
+        header = f"{'series':<28} {self.x_label:>10} " + " ".join(
+            f"{m:>9}" for m in metrics
+        )
+        lines.append(header)
+        for name, points in self.series.items():
+            for p in points:
+                cells = " ".join(
+                    f"{p.metric(m):>9.3f}"
+                    if not math.isnan(p.metric(m))
+                    else f"{'nan':>9}"
+                    for m in metrics
+                )
+                lines.append(f"{name:<28} {p.x!s:>10} {cells}")
+        return "\n".join(lines)
+
+
+def run_series_point(config: ScenarioConfig, x: Any) -> SeriesPoint:
+    """Run one scenario and wrap its summary as a series point."""
+    result = run_broadcast_simulation(config)
+    return SeriesPoint(
+        x=x,
+        re=result.re,
+        srb=result.srb,
+        latency=result.latency,
+        hellos=result.hellos,
+    )

@@ -1,0 +1,50 @@
+"""Fig. 7: adaptive counter (AC) versus fixed-threshold counter (C = 2, 4, 6).
+
+Expected shapes (paper Section 4.1): C = 2 has high SRB but RE collapses on
+sparse maps; C = 6 keeps RE but loses SRB everywhere; AC holds RE high on
+every map while keeping SRB comparable to C = 2 on dense maps.  Latency
+(7b): AC smallest on 1x1/3x3, slightly above C = 2 on sparse maps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures.common import (
+    PAPER_MAPS,
+    FigureResult,
+    run_series_point,
+)
+
+__all__ = ["run", "FIXED_THRESHOLDS"]
+
+FIXED_THRESHOLDS = (2, 4, 6)
+
+
+def run(
+    maps: Sequence[int] = PAPER_MAPS,
+    num_broadcasts: int = 50,
+    seed: int = 1,
+    fixed_thresholds: Sequence[int] = FIXED_THRESHOLDS,
+) -> FigureResult:
+    result = FigureResult("Fig. 7: AC vs fixed counter", "map")
+    for threshold in fixed_thresholds:
+        for units in maps:
+            config = ScenarioConfig(
+                scheme="counter",
+                scheme_params={"threshold": threshold},
+                map_units=units,
+                num_broadcasts=num_broadcasts,
+                seed=seed,
+            )
+            result.add(f"C={threshold}", run_series_point(config, units))
+    for units in maps:
+        config = ScenarioConfig(
+            scheme="adaptive-counter",
+            map_units=units,
+            num_broadcasts=num_broadcasts,
+            seed=seed,
+        )
+        result.add("AC", run_series_point(config, units))
+    return result

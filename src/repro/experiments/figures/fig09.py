@@ -1,0 +1,51 @@
+"""Fig. 9: comparing adaptive-location threshold functions ``A(n)``.
+
+The candidates are the ``(n1, n2)`` pairs of Fig. 8.  The paper finds
+``(6, 12)``, ``(8, 12)`` and ``(8, 10)`` all give satisfactory RE and picks
+``(6, 12)`` for its better SRB on sparse maps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures.common import (
+    PAPER_MAPS,
+    FigureResult,
+    run_series_point,
+)
+from repro.schemes.thresholds import make_location_threshold
+
+__all__ = ["run", "CANDIDATE_PAIRS"]
+
+CANDIDATE_PAIRS: Tuple[Tuple[int, int], ...] = (
+    (2, 8),
+    (4, 8),
+    (6, 10),
+    (6, 12),
+    (8, 10),
+    (8, 12),
+)
+
+
+def run(
+    maps: Sequence[int] = PAPER_MAPS,
+    pairs: Sequence[Tuple[int, int]] = CANDIDATE_PAIRS,
+    num_broadcasts: int = 50,
+    seed: int = 1,
+) -> FigureResult:
+    result = FigureResult("Fig. 9: A(n) candidates", "map")
+    for n1, n2 in pairs:
+        fn = make_location_threshold(n1=n1, n2=n2)
+        name = f"({n1},{n2})"
+        for units in maps:
+            config = ScenarioConfig(
+                scheme="adaptive-location",
+                scheme_params={"threshold_fn": fn},
+                map_units=units,
+                num_broadcasts=num_broadcasts,
+                seed=seed,
+            )
+            result.add(name, run_series_point(config, units))
+    return result

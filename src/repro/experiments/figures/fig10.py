@@ -1,0 +1,50 @@
+"""Fig. 10: adaptive location (AL) versus fixed location thresholds.
+
+Fixed thresholds from [15]: A = 0.1871, 0.0469, 0.0134 (fractions of
+``pi r^2``).  Expected: fixed thresholds lose RE on sparse maps (the larger
+A, the worse); AL keeps RE high without sacrificing SRB; AL latency lowest
+on dense maps, slightly above A = 0.1871 on sparse maps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures.common import (
+    PAPER_MAPS,
+    FigureResult,
+    run_series_point,
+)
+
+__all__ = ["run", "FIXED_THRESHOLDS"]
+
+FIXED_THRESHOLDS = (0.1871, 0.0469, 0.0134)
+
+
+def run(
+    maps: Sequence[int] = PAPER_MAPS,
+    num_broadcasts: int = 50,
+    seed: int = 1,
+    fixed_thresholds: Sequence[float] = FIXED_THRESHOLDS,
+) -> FigureResult:
+    result = FigureResult("Fig. 10: AL vs fixed location", "map")
+    for threshold in fixed_thresholds:
+        for units in maps:
+            config = ScenarioConfig(
+                scheme="location",
+                scheme_params={"threshold": threshold},
+                map_units=units,
+                num_broadcasts=num_broadcasts,
+                seed=seed,
+            )
+            result.add(f"A={threshold}", run_series_point(config, units))
+    for units in maps:
+        config = ScenarioConfig(
+            scheme="adaptive-location",
+            map_units=units,
+            num_broadcasts=num_broadcasts,
+            seed=seed,
+        )
+        result.add("AL", run_series_point(config, units))
+    return result

@@ -1,0 +1,48 @@
+"""Fig. 11: neighbor-coverage RE versus hello interval and host speed.
+
+Four panels (maps 5x5, 7x7, 9x9, 11x11); series = hello interval in
+{1, 5, 10, 20, 30} seconds; x = max host speed in {20, 40, 60, 80} km/h.
+
+Expected: long hello intervals significantly degrade RE on sparse maps,
+worse at higher speed; on the small map mobility matters little.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures.common import FigureResult, run_series_point
+from repro.net.host import HelloConfig
+
+__all__ = ["run", "PAPER_HELLO_INTERVALS", "PAPER_SPEEDS", "PAPER_FIG11_MAPS"]
+
+PAPER_HELLO_INTERVALS = (1.0, 5.0, 10.0, 20.0, 30.0)
+PAPER_SPEEDS = (20.0, 40.0, 60.0, 80.0)
+PAPER_FIG11_MAPS = (5, 7, 9, 11)
+
+
+def run(
+    maps: Sequence[int] = PAPER_FIG11_MAPS,
+    speeds: Sequence[float] = PAPER_SPEEDS,
+    hello_intervals: Sequence[float] = PAPER_HELLO_INTERVALS,
+    num_broadcasts: int = 50,
+    seed: int = 1,
+) -> Dict[int, FigureResult]:
+    """One :class:`FigureResult` per map panel; series keyed by interval."""
+    panels: Dict[int, FigureResult] = {}
+    for units in maps:
+        panel = FigureResult(f"Fig. 11 ({units}x{units}): NC vs hello interval", "km/h")
+        for interval in hello_intervals:
+            for speed in speeds:
+                config = ScenarioConfig(
+                    scheme="neighbor-coverage",
+                    map_units=units,
+                    max_speed_kmh=speed,
+                    hello=HelloConfig(interval=interval),
+                    num_broadcasts=num_broadcasts,
+                    seed=seed,
+                )
+                panel.add(f"hello={interval:g}s", run_series_point(config, speed))
+        panels[units] = panel
+    return panels

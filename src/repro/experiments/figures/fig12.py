@@ -1,0 +1,46 @@
+"""Fig. 12: neighbor coverage with dynamic hello interval (NC-DHI).
+
+Panel (a): RE and SRB across host speeds per map -- RE should stay high
+independent of speed and density.  Panel (b): the number of HELLO packets
+sent -- near the ``hi_min`` rate on sparse maps (high neighborhood
+variation), near the ``hi_max`` rate on the 1x1 map (no variation).
+
+Paper DHI parameters: ``nv_max = 0.02``, ``hi_min = 1 s``, ``hi_max = 10 s``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures.common import FigureResult, run_series_point
+from repro.net.host import HelloConfig
+
+__all__ = ["run", "PAPER_SPEEDS", "PAPER_FIG12_MAPS", "DHI_CONFIG"]
+
+PAPER_SPEEDS = (20.0, 40.0, 60.0, 80.0)
+PAPER_FIG12_MAPS = (1, 3, 5, 7, 9, 11)
+
+DHI_CONFIG = HelloConfig(dynamic=True, nv_max=0.02, hi_min=1.0, hi_max=10.0)
+
+
+def run(
+    maps: Sequence[int] = PAPER_FIG12_MAPS,
+    speeds: Sequence[float] = PAPER_SPEEDS,
+    num_broadcasts: int = 50,
+    seed: int = 1,
+) -> FigureResult:
+    """Series per map; x = speed; ``hellos`` carries panel (b)'s count."""
+    result = FigureResult("Fig. 12: NC-DHI vs speed", "km/h")
+    for units in maps:
+        for speed in speeds:
+            config = ScenarioConfig(
+                scheme="neighbor-coverage",
+                map_units=units,
+                max_speed_kmh=speed,
+                hello=DHI_CONFIG,
+                num_broadcasts=num_broadcasts,
+                seed=seed,
+            )
+            result.add(f"{units}x{units}", run_series_point(config, speed))
+    return result

@@ -1,0 +1,140 @@
+"""Result persistence: JSON and CSV export/import.
+
+Long parameter sweeps are expensive; these helpers let the harness save
+every scenario's summary as it lands and reload sweeps for later analysis
+without re-simulation.
+
+Formats:
+
+- JSON: one document per run / figure, round-trippable
+  (:func:`result_to_dict` / :func:`figure_result_to_dict`).
+- CSV: one row per (series, x) point, for spreadsheet or pandas use.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.experiments.figures.common import FigureResult, SeriesPoint
+from repro.experiments.runner import SimulationResult
+
+__all__ = [
+    "result_to_dict",
+    "figure_result_to_dict",
+    "figure_result_from_dict",
+    "save_json",
+    "load_json",
+    "figure_result_to_csv",
+    "write_figure_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Flatten a :class:`SimulationResult` for JSON export.
+
+    Captures the config identity, the headline metrics and the channel
+    counters -- enough to rebuild any table in the paper, not the raw
+    per-broadcast records.
+    """
+    config = result.config
+    return {
+        "config": {
+            "scheme": config.scheme,
+            "scheme_params": {
+                k: v for k, v in config.scheme_params.items()
+                if isinstance(v, (int, float, str, bool))
+            },
+            "map_units": config.map_units,
+            "num_hosts": config.num_hosts,
+            "num_broadcasts": config.num_broadcasts,
+            "max_speed_kmh": config.resolved_max_speed_kmh,
+            "seed": config.seed,
+        },
+        "metrics": {
+            "re": result.re,
+            "srb": result.srb,
+            "latency": result.latency,
+            "hellos": result.hellos,
+            "broadcasts": result.stats.broadcasts,
+        },
+        "channel": {
+            "transmissions": result.channel_stats.transmissions,
+            "deliveries": result.channel_stats.deliveries,
+            "collisions": result.channel_stats.collisions,
+            "deaf_misses": result.channel_stats.deaf_misses,
+        },
+        "events_processed": result.events_processed,
+        "end_time": result.end_time,
+    }
+
+
+def figure_result_to_dict(result: FigureResult) -> Dict[str, Any]:
+    """JSON-ready form of a :class:`FigureResult`."""
+    return {
+        "figure": result.figure,
+        "x_label": result.x_label,
+        "series": {
+            name: [
+                {
+                    "x": p.x,
+                    "re": p.re,
+                    "srb": p.srb,
+                    "latency": p.latency,
+                    "hellos": p.hellos,
+                }
+                for p in points
+            ]
+            for name, points in result.series.items()
+        },
+    }
+
+
+def figure_result_from_dict(data: Dict[str, Any]) -> FigureResult:
+    """Inverse of :func:`figure_result_to_dict`."""
+    result = FigureResult(data["figure"], data["x_label"])
+    for name, points in data["series"].items():
+        for p in points:
+            result.add(
+                name,
+                SeriesPoint(
+                    x=p["x"],
+                    re=p["re"],
+                    srb=p["srb"],
+                    latency=p["latency"],
+                    hellos=p.get("hellos", 0),
+                ),
+            )
+    return result
+
+
+def save_json(data: Dict[str, Any], path: PathLike) -> None:
+    """Write ``data`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def figure_result_to_csv(result: FigureResult) -> str:
+    """Render a figure's series as CSV text (one row per point)."""
+    buffer = _io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["figure", "series", result.x_label, "re", "srb",
+                     "latency", "hellos"])
+    for name, points in result.series.items():
+        for p in points:
+            writer.writerow(
+                [result.figure, name, p.x, p.re, p.srb, p.latency, p.hellos]
+            )
+    return buffer.getvalue()
+
+
+def write_figure_csv(result: FigureResult, path: PathLike) -> None:
+    Path(path).write_text(figure_result_to_csv(result))

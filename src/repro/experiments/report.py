@@ -1,0 +1,198 @@
+"""Generate a paper-vs-measured reproduction report (markdown).
+
+Drives every figure module and renders the measured series next to the
+paper's expected qualitative shape.  This is the programmatic source of
+EXPERIMENTS.md::
+
+    python -m repro.experiments.report > report.md
+    python -m repro.experiments.report --full   # paper-scale grids (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Sequence
+
+from repro.experiments.figures import (
+    fig01,
+    fig02,
+    fig05,
+    fig07,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+
+__all__ = ["generate_report", "main"]
+
+
+def _code_block(text: str) -> str:
+    return "```\n" + text + "\n```"
+
+
+def generate_report(
+    maps: Sequence[int] = (1, 5, 9),
+    num_broadcasts: int = 30,
+    seed: int = 1,
+    progress=None,
+) -> str:
+    """Run every figure and return the full markdown report."""
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    sections: List[str] = []
+    started = time.time()
+
+    note("fig01")
+    eac = fig01.run(max_k=10, trials=2000, seed=seed)
+    sections.append(
+        "## Fig. 1 — Expected additional coverage EAC(k)\n\n"
+        "Paper: EAC(1) ~ 0.41, decreasing, below 0.05 from k = 4.\n\n"
+        + _code_block(fig01.format_table(eac))
+    )
+
+    note("fig02")
+    cf = fig02.run(max_n=10, trials=5000, seed=seed)
+    sections.append(
+        "## Fig. 2 — Contention-free probabilities cf(n, k)\n\n"
+        "Paper: cf(n, 0) > 0.8 for n >= 6; cf(n, 1) drops sharply; "
+        "cf(n, n-1) = 0.\n\n" + _code_block(fig02.format_table(cf))
+    )
+
+    note("fig05a")
+    sections.append(
+        "## Fig. 5 — Tuning C(n) for the adaptive counter scheme\n\n"
+        "Paper: slope 1 (C(n) = n + 1) best on sparse maps; n1 = 4 "
+        "satisfies RE with the best saving; n2 = 12 best sparse-map RE; "
+        "mid-curves trade SRB at similar RE.\n\n"
+        + _code_block(
+            fig05.run_5a(maps=maps, num_broadcasts=num_broadcasts, seed=seed).table()
+        )
+    )
+    note("fig05b")
+    sections.append(
+        _code_block(
+            fig05.run_5b(maps=maps, num_broadcasts=num_broadcasts, seed=seed).table()
+        )
+    )
+    note("fig05c")
+    sections.append(
+        _code_block(
+            fig05.run_5c(maps=maps, num_broadcasts=num_broadcasts, seed=seed).table()
+        )
+    )
+    note("fig05d")
+    sections.append(
+        _code_block(
+            fig05.run_5d(maps=maps, num_broadcasts=num_broadcasts, seed=seed).table()
+        )
+    )
+
+    note("fig07")
+    sections.append(
+        "## Fig. 7 — Adaptive counter vs fixed counter\n\n"
+        "Paper: C = 2 collapses on sparse maps, C = 6 wastes SRB "
+        "everywhere, AC keeps RE high with C = 2-like saving on dense "
+        "maps; AC latency smallest on dense maps.\n\n"
+        + _code_block(
+            fig07.run(maps=maps, num_broadcasts=num_broadcasts, seed=seed)
+            .table(metrics=("re", "srb", "latency"))
+        )
+    )
+
+    note("fig09")
+    sections.append(
+        "## Fig. 9 — A(n) candidates for the adaptive location scheme\n\n"
+        "Paper: (6,12), (8,12), (8,10) all satisfactory; (6,12) chosen.\n\n"
+        + _code_block(
+            fig09.run(maps=maps, num_broadcasts=num_broadcasts, seed=seed).table()
+        )
+    )
+
+    note("fig10")
+    sections.append(
+        "## Fig. 10 — Adaptive location vs fixed location\n\n"
+        "Paper: fixed thresholds lose RE on sparse maps (worse for larger "
+        "A); AL keeps RE and SRB; AL latency lowest on dense maps.\n\n"
+        + _code_block(
+            fig10.run(maps=maps, num_broadcasts=num_broadcasts, seed=seed)
+            .table(metrics=("re", "srb", "latency"))
+        )
+    )
+
+    note("fig11")
+    # Fig. 11 is about sparse maps; take the sparser half of the sweep.
+    fig11_maps = tuple(m for m in maps if m >= 5) or tuple(maps)
+    panels = fig11.run(
+        maps=fig11_maps,
+        speeds=(20.0, 80.0),
+        hello_intervals=(1.0, 10.0, 30.0),
+        num_broadcasts=num_broadcasts,
+        seed=seed,
+    )
+    fig11_tables = "\n\n".join(
+        panel.table(metrics=("re", "srb")) for panel in panels.values()
+    )
+    sections.append(
+        "## Fig. 11 — Neighbor coverage vs hello interval and speed\n\n"
+        "Paper: long hello intervals significantly degrade RE on sparse "
+        "maps, worse at higher speed; small maps barely affected.\n\n"
+        + _code_block(fig11_tables)
+    )
+
+    note("fig12")
+    sections.append(
+        "## Fig. 12 — NC with dynamic hello interval\n\n"
+        "Paper: RE high independent of speed/density with significant "
+        "SRB; hello count near the hi_min rate on sparse maps and near "
+        "the hi_max rate on the 1x1 map.\n\n"
+        + _code_block(
+            fig12.run(
+                maps=maps, speeds=(20.0, 80.0),
+                num_broadcasts=num_broadcasts, seed=seed,
+            ).table(metrics=("re", "srb", "hellos"))
+        )
+    )
+
+    note("fig13")
+    sections.append(
+        "## Fig. 13 — Overall comparison\n\n"
+        "Paper: flooding SRB = 0 with suboptimal dense-map RE; adaptive "
+        "schemes upper-right; NC best dense, AC/AL best sparse.\n\n"
+        + _code_block(
+            fig13.run(maps=maps, num_broadcasts=num_broadcasts, seed=seed)
+            .table(metrics=("re", "srb"))
+        )
+    )
+
+    elapsed = time.time() - started
+    header = (
+        "# Reproduction report\n\n"
+        f"Generated by `python -m repro.experiments.report` "
+        f"(maps={list(maps)}, broadcasts/scenario={num_broadcasts}, "
+        f"seed={seed}; wall time {elapsed:.0f}s).\n"
+    )
+    return header + "\n\n" + "\n\n".join(sections) + "\n"
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    full = "--full" in argv
+    maps = (1, 3, 5, 7, 9, 11) if full else (1, 5, 9)
+    n = 100 if full else 30
+    report = generate_report(
+        maps=maps,
+        num_broadcasts=n,
+        progress=lambda msg: print(f"[report] {msg}...", file=sys.stderr),
+    )
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Controlled static topologies (line, grid, star, ring).
+
+Used by integration tests and the examples to exercise schemes on networks
+with *known* structure: a line forces multihop relaying through every host,
+a star makes the hub an articulation point, a dense grid produces maximal
+redundancy, two distant clusters demonstrate partitioning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.map import RectMap
+from repro.mobility.models import StaticMobility
+from repro.net.host import HelloConfig
+from repro.net.network import Network
+from repro.phy.params import PhyParams
+from repro.schemes.base import RebroadcastScheme
+from repro.sim.engine import Scheduler
+from repro.sim.randomness import RandomStreams
+
+__all__ = [
+    "line_positions",
+    "grid_positions",
+    "star_positions",
+    "ring_positions",
+    "two_clusters_positions",
+    "build_static_network",
+]
+
+Position = Tuple[float, float]
+
+
+def line_positions(
+    n: int, spacing: float, origin: Position = (0.0, 0.0)
+) -> List[Position]:
+    """``n`` hosts in a horizontal line, ``spacing`` meters apart."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    x0, y0 = origin
+    return [(x0 + i * spacing, y0) for i in range(n)]
+
+
+def grid_positions(
+    rows: int, cols: int, spacing: float, origin: Position = (0.0, 0.0)
+) -> List[Position]:
+    """``rows x cols`` hosts on a square lattice."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"need rows, cols >= 1, got {rows}x{cols}")
+    x0, y0 = origin
+    return [
+        (x0 + c * spacing, y0 + r * spacing)
+        for r in range(rows)
+        for c in range(cols)
+    ]
+
+
+def star_positions(
+    leaves: int, radius: float, center: Position = (0.0, 0.0)
+) -> List[Position]:
+    """A hub (index 0) surrounded by ``leaves`` hosts at ``radius``.
+
+    With ``radius`` larger than half the radio range, leaves cannot hear
+    each other directly (for typical counts), making the hub an
+    articulation point.
+    """
+    if leaves < 1:
+        raise ValueError(f"need leaves >= 1, got {leaves}")
+    cx, cy = center
+    out = [center]
+    for i in range(leaves):
+        angle = 2.0 * math.pi * i / leaves
+        out.append((cx + radius * math.cos(angle), cy + radius * math.sin(angle)))
+    return out
+
+
+def ring_positions(
+    n: int, radius: float, center: Position = (0.0, 0.0)
+) -> List[Position]:
+    """``n`` hosts evenly spaced on a circle."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    cx, cy = center
+    return [
+        (
+            cx + radius * math.cos(2.0 * math.pi * i / n),
+            cy + radius * math.sin(2.0 * math.pi * i / n),
+        )
+        for i in range(n)
+    ]
+
+
+def two_clusters_positions(
+    per_cluster: int, cluster_radius: float, gap: float
+) -> List[Position]:
+    """Two rings separated by ``gap`` (center to center): a partitioned net
+    when ``gap`` exceeds radio range plus diameters."""
+    left = ring_positions(per_cluster, cluster_radius, center=(0.0, 0.0))
+    right = ring_positions(per_cluster, cluster_radius, center=(gap, 0.0))
+    return left + right
+
+
+def build_static_network(
+    scheduler: Scheduler,
+    positions: Sequence[Position],
+    scheme_factory: Callable[[], RebroadcastScheme],
+    metrics: Optional[MetricsCollector] = None,
+    params: Optional[PhyParams] = None,
+    hello_config: Optional[HelloConfig] = None,
+    seed: int = 0,
+    oracle_neighbors: bool = False,
+    drop_predicate: Optional[Callable[[int, int], bool]] = None,
+) -> Tuple[Network, MetricsCollector]:
+    """A :class:`Network` of motionless hosts at exactly ``positions``.
+
+    The world rectangle is sized to contain all positions (plus a radio-
+    radius margin) and positions are shifted into the positive quadrant.
+    """
+    if not positions:
+        raise ValueError("need at least one position")
+    params = params or PhyParams()
+    metrics = metrics if metrics is not None else MetricsCollector()
+    min_x = min(p[0] for p in positions)
+    min_y = min(p[1] for p in positions)
+    margin = params.radio_radius
+    shifted = [(p[0] - min_x + margin, p[1] - min_y + margin) for p in positions]
+    width = max(p[0] for p in shifted) + margin
+    height = max(p[1] for p in shifted) + margin
+    world = RectMap(width, height)
+    network = Network(
+        scheduler=scheduler,
+        params=params,
+        world=world,
+        streams=RandomStreams(seed),
+        num_hosts=len(shifted),
+        scheme_factory=scheme_factory,
+        metrics=metrics,
+        max_speed_kmh=0.0,
+        hello_config=hello_config,
+        oracle_neighbors=oracle_neighbors,
+        drop_predicate=drop_predicate,
+        mobility_factory=lambda host_id: StaticMobility(shifted[host_id]),
+    )
+    return network, metrics

@@ -1,0 +1,31 @@
+"""Geometry and circle-coverage mathematics.
+
+Everything the broadcast-storm analysis needs: Euclidean points, the
+two-circle intersection ("lens") area ``INTC(d)`` from Section 2.2.1 of the
+paper, and estimators for the *additional coverage* a rebroadcast provides
+(the area of a host's radio disk not already covered by previously heard
+transmitters).
+"""
+
+from repro.geometry.circles import (
+    additional_coverage_area,
+    additional_coverage_fraction,
+    intc,
+    intc_integrand_form,
+    lens_area,
+)
+from repro.geometry.coverage import DiskSampler, uncovered_fraction
+from repro.geometry.points import Point, distance, distance_sq
+
+__all__ = [
+    "Point",
+    "distance",
+    "distance_sq",
+    "intc",
+    "intc_integrand_form",
+    "lens_area",
+    "additional_coverage_area",
+    "additional_coverage_fraction",
+    "DiskSampler",
+    "uncovered_fraction",
+]

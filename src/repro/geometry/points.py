@@ -1,0 +1,43 @@
+"""Euclidean points in the plane.
+
+Positions are plain ``(x, y)`` tuples throughout the simulator for speed;
+:class:`Point` is a NamedTuple so it *is* such a tuple while still offering
+named access and vector helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Tuple
+
+__all__ = ["Point", "distance", "distance_sq"]
+
+
+class Point(NamedTuple):
+    """An (x, y) position in meters."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """This point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def towards(self, other: "Point", fraction: float) -> "Point":
+        """The point ``fraction`` of the way from here to ``other``."""
+        return Point(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+        )
+
+
+def distance_sq(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Squared Euclidean distance (avoids the sqrt in range tests)."""
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return dx * dx + dy * dy
+
+
+def distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    """Euclidean distance in meters."""
+    return math.sqrt(distance_sq(a, b))

@@ -1,0 +1,11 @@
+"""IEEE 802.11-like CSMA/CA MAC for broadcast frames.
+
+Broadcast frames in 802.11 DCF use carrier sensing, DIFS deferral and random
+backoff, but **no RTS/CTS, no acknowledgement and no retransmission** -- the
+exact regime whose deficiencies (Section 2.2.3 of the paper) produce the
+broadcast storm.
+"""
+
+from repro.mac.csma import CsmaCaMac, MacFrameHandle, MacReceiver, MacStats
+
+__all__ = ["CsmaCaMac", "MacFrameHandle", "MacReceiver", "MacStats"]

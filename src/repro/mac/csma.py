@@ -1,0 +1,443 @@
+"""Per-host CSMA/CA distributed coordination function.
+
+Broadcast behaviour (DCF, IEEE Std 802.11-1997, the paper's regime):
+
+- A frame arriving at an idle MAC whose medium has been idle for at least
+  DIFS is transmitted immediately; if the idle period is shorter, the MAC
+  must go through the random backoff procedure.
+- A frame arriving while the medium is busy (or while a backoff is pending)
+  is queued; access then always uses random backoff.
+- The backoff counter is drawn uniformly from ``[0, CW]`` and counts down
+  one slot at a time while the medium is idle after a DIFS; it freezes when
+  the medium goes busy and resumes (not redraws) on the next idle DIFS.
+- After **every** transmission the MAC performs a post-transmission backoff,
+  even with an empty queue.
+- Broadcast frames are never acknowledged or retransmitted and never grow
+  the contention window.
+
+Unicast behaviour (used by the routing substrate, not by the paper's
+broadcast schemes):
+
+- Unicast data frames are acknowledged by the receiver one SIFS after
+  reception (ACKs do not contend for the medium; SIFS < DIFS gives them
+  priority).
+- A sender missing the ACK retries with a doubled contention window
+  (up to ``cw_max``), at most ``retry_limit`` retransmissions, then reports
+  failure.  The contention window resets on success or final failure.
+
+The scheme layer interacts through :meth:`CsmaCaMac.send`, which returns a
+:class:`MacFrameHandle`; the paper's scheme step S5 ("cancel the
+transmission of P") maps to :meth:`MacFrameHandle.cancel`, legal any time
+before the frame is on the air, and scheme step S3 ("packet P is on the
+air") maps to the handle's ``on_transmit_start`` callback.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional
+
+from repro.mac.frames import AckFrame, DataFrame
+from repro.phy.channel import Channel, RadioListener
+from repro.phy.params import PhyParams
+from repro.sim.engine import Event, Scheduler
+
+__all__ = ["CsmaCaMac", "MacFrameHandle", "MacReceiver", "MacStats"]
+
+#: Maximum retransmissions of a unicast frame (802.11 short retry limit).
+DEFAULT_RETRY_LIMIT = 7
+
+
+class MacReceiver:
+    """Upper-layer interface a host implements to receive from its MAC."""
+
+    def on_frame_received(self, frame: Any, sender_id: int) -> None:
+        raise NotImplementedError
+
+    def on_frame_corrupted(self, frame: Any, sender_id: int) -> None:
+        """Optional: a frame was heard but garbled."""
+
+
+@dataclass
+class MacStats:
+    """Per-host MAC counters."""
+
+    frames_sent: int = 0
+    broadcast_frames_sent: int = 0
+    unicast_frames_sent: int = 0
+    frames_cancelled: int = 0
+    frames_received: int = 0
+    frames_corrupted: int = 0
+    backoffs_started: int = 0
+    unicast_attempts: int = 0
+    unicast_delivered: int = 0
+    unicast_failed: int = 0
+    retries: int = 0
+    acks_sent: int = 0
+    acks_suppressed: int = 0  # could not ACK (was transmitting)
+    overheard: int = 0  # unicast frames addressed to someone else
+    duplicates_filtered: int = 0  # retransmissions not re-delivered
+
+
+class MacFrameHandle:
+    """A queued frame; lets the sender cancel it before it is on the air."""
+
+    __slots__ = (
+        "frame", "size_bytes", "dst", "on_transmit_start", "on_complete",
+        "cancelled", "transmitted", "attempts", "mac_seq",
+    )
+
+    def __init__(
+        self,
+        frame: Any,
+        size_bytes: int,
+        dst: Optional[int],
+        on_transmit_start: Optional[Callable[[], None]],
+        on_complete: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        self.frame = frame
+        self.size_bytes = size_bytes
+        self.dst = dst
+        self.on_transmit_start = on_transmit_start
+        self.on_complete = on_complete
+        self.cancelled = False
+        self.transmitted = False
+        self.attempts = 0
+        self.mac_seq = 0
+
+    @property
+    def is_unicast(self) -> bool:
+        return self.dst is not None
+
+    def cancel(self) -> bool:
+        """Withdraw the frame.  Returns ``True`` if it had not yet started
+        transmitting (i.e. the cancellation took effect)."""
+        if self.transmitted:
+            return False
+        self.cancelled = True
+        return True
+
+
+class CsmaCaMac(RadioListener):
+    """One host's MAC entity."""
+
+    def __init__(
+        self,
+        host_id: int,
+        scheduler: Scheduler,
+        channel: Channel,
+        params: PhyParams,
+        rng: random.Random,
+        receiver: MacReceiver,
+        retry_limit: int = DEFAULT_RETRY_LIMIT,
+    ) -> None:
+        self.host_id = host_id
+        self._scheduler = scheduler
+        self._channel = channel
+        self._params = params
+        self._rng = rng
+        self._receiver = receiver
+        self._retry_limit = retry_limit
+        self.stats = MacStats()
+
+        self._queue: Deque[MacFrameHandle] = deque()
+        self._transmitting = False
+        self._others_busy = False
+        self._others_idle_since = 0.0
+        self._last_tx_end = 0.0
+        self._cw = params.cw_min
+        self._backoff_remaining: Optional[int] = None
+        self._countdown_base: Optional[float] = None
+        self._access_event: Optional[Event] = None
+        self._awaiting_ack: Optional[MacFrameHandle] = None
+        self._ack_timeout_event: Optional[Event] = None
+        self._tx_seq = 0
+        #: Last delivered unicast mac_seq per sender (duplicate detection).
+        self._last_rx_seq: dict = {}
+
+        channel.attach(host_id, self)
+
+    # ------------------------------------------------------------------ API
+
+    def send(
+        self,
+        frame: Any,
+        size_bytes: int,
+        on_transmit_start: Optional[Callable[[], None]] = None,
+    ) -> MacFrameHandle:
+        """Queue ``frame`` for **broadcast** transmission.
+
+        ``on_transmit_start`` fires at the instant the frame goes on the air
+        (the scheme's "transmission actually starts").  The returned handle
+        supports :meth:`MacFrameHandle.cancel`.
+        """
+        handle = MacFrameHandle(frame, size_bytes, None, on_transmit_start)
+        return self._enqueue(handle)
+
+    def send_unicast(
+        self,
+        frame: Any,
+        size_bytes: int,
+        dst: int,
+        on_complete: Optional[Callable[[bool], None]] = None,
+        on_transmit_start: Optional[Callable[[], None]] = None,
+    ) -> MacFrameHandle:
+        """Queue ``frame`` for acknowledged unicast transmission to ``dst``.
+
+        ``on_complete(success)`` fires when the frame is ACKed or finally
+        dropped after the retry limit.
+        """
+        if dst == self.host_id:
+            raise ValueError("unicast to self")
+        handle = MacFrameHandle(
+            frame, size_bytes, dst, on_transmit_start, on_complete
+        )
+        self.stats.unicast_attempts += 1
+        return self._enqueue(handle)
+
+    def _enqueue(self, handle: MacFrameHandle) -> MacFrameHandle:
+        self._tx_seq += 1
+        handle.mac_seq = self._tx_seq
+        self._queue.append(handle)
+        if (
+            self._transmitting
+            or self._access_event is not None
+            or self._awaiting_ack is not None
+        ):
+            return handle
+        if self._others_busy:
+            # Deferred arrival: access must use the backoff procedure.
+            if self._backoff_remaining is None:
+                self._backoff_remaining = self._draw_backoff()
+            return handle
+        if self._backoff_remaining is None:
+            idle_base = max(self._others_idle_since, self._last_tx_end)
+            if self._scheduler.now - idle_base >= self._params.difs:
+                # Medium already idle >= DIFS: immediate access.
+                self._start_transmission()
+                return handle
+            # Idle but not yet for a full DIFS: per DCF the station must
+            # go through the random backoff procedure.
+            self._backoff_remaining = self._draw_backoff()
+        self._maybe_resume()
+        return handle
+
+    @property
+    def queue_length(self) -> int:
+        """Frames waiting (cancelled husks excluded)."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    @property
+    def is_transmitting(self) -> bool:
+        return self._transmitting
+
+    @property
+    def contention_window(self) -> int:
+        """Current CW (grows on unicast retries, resets on resolution)."""
+        return self._cw
+
+    # --------------------------------------------------- channel callbacks
+
+    def on_medium_state(self, busy: bool) -> None:
+        if busy:
+            self._others_busy = True
+            self._freeze()
+        else:
+            self._others_busy = False
+            self._others_idle_since = self._scheduler.now
+            self._maybe_resume()
+
+    def on_frame_received(self, frame: Any, sender_id: int) -> None:
+        if isinstance(frame, AckFrame):
+            if frame.dst == self.host_id:
+                self._ack_received(sender_id)
+            return
+        if isinstance(frame, DataFrame):
+            if frame.is_broadcast:
+                self.stats.frames_received += 1
+                self._receiver.on_frame_received(frame.payload, frame.src)
+            elif frame.dst == self.host_id:
+                # Always ACK; deliver only if not a retransmission we have
+                # already passed up (802.11 duplicate detection).
+                self._schedule_ack(frame.src)
+                if self._last_rx_seq.get(frame.src, 0) >= frame.mac_seq:
+                    self.stats.duplicates_filtered += 1
+                    return
+                self._last_rx_seq[frame.src] = frame.mac_seq
+                self.stats.frames_received += 1
+                self._receiver.on_frame_received(frame.payload, frame.src)
+            else:
+                self.stats.overheard += 1
+            return
+        # Raw (non-enveloped) frame, e.g. injected directly in tests.
+        self.stats.frames_received += 1
+        self._receiver.on_frame_received(frame, sender_id)
+
+    def on_frame_corrupted(self, frame: Any, sender_id: int) -> None:
+        self.stats.frames_corrupted += 1
+        payload = frame.payload if isinstance(frame, DataFrame) else frame
+        if not isinstance(frame, AckFrame):
+            self._receiver.on_frame_corrupted(payload, sender_id)
+
+    # ------------------------------------------------------------ internals
+
+    def _draw_backoff(self) -> int:
+        self.stats.backoffs_started += 1
+        return self._rng.randint(0, self._cw)
+
+    def _freeze(self) -> None:
+        """Medium went busy: cancel pending access, bank elapsed slots."""
+        if self._access_event is None:
+            return
+        self._access_event.cancel()
+        self._access_event = None
+        if self._backoff_remaining is not None and self._countdown_base is not None:
+            elapsed = self._scheduler.now - self._countdown_base
+            consumed = max(0, math.floor(elapsed / self._params.slot_time))
+            self._backoff_remaining = max(0, self._backoff_remaining - consumed)
+        self._countdown_base = None
+
+    def _maybe_resume(self) -> None:
+        """Schedule the next access completion if the medium allows it."""
+        if (
+            self._transmitting
+            or self._access_event is not None
+            or self._awaiting_ack is not None
+        ):
+            return
+        if self._others_busy:
+            return
+        if self._backoff_remaining is None:
+            # No pending backoff: only initial DIFS access for a queued frame.
+            if self.queue_length == 0:
+                return
+            idle_base = max(self._others_idle_since, self._last_tx_end)
+            fire_at = max(self._scheduler.now, idle_base + self._params.difs)
+            self._access_event = self._scheduler.schedule_at(
+                fire_at, self._access_fire
+            )
+            return
+        base = max(self._others_idle_since, self._last_tx_end) + self._params.difs
+        self._countdown_base = base
+        fire_at = base + self._backoff_remaining * self._params.slot_time
+        fire_at = max(fire_at, self._scheduler.now)
+        self._access_event = self._scheduler.schedule_at(fire_at, self._access_fire)
+
+    def _access_fire(self) -> None:
+        self._access_event = None
+        self._backoff_remaining = None
+        self._countdown_base = None
+        self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        if self._transmitting:
+            # An ACK response grabbed the radio; retry once it is done.
+            return
+        while self._queue and self._queue[0].cancelled:
+            self._queue.popleft()
+            self.stats.frames_cancelled += 1
+        if not self._queue:
+            return
+        handle = self._queue.popleft()
+        first_attempt = not handle.transmitted
+        handle.transmitted = True
+        handle.attempts += 1
+        self._transmitting = True
+        self.stats.frames_sent += 1
+        if handle.is_unicast:
+            self.stats.unicast_frames_sent += 1
+        else:
+            self.stats.broadcast_frames_sent += 1
+        duration = self._params.airtime(handle.size_bytes)
+        if first_attempt and handle.on_transmit_start is not None:
+            handle.on_transmit_start()
+        envelope = DataFrame(
+            src=self.host_id,
+            dst=handle.dst,
+            payload=handle.frame,
+            size_bytes=handle.size_bytes,
+            mac_seq=handle.mac_seq,
+        )
+        self._channel.start_transmission(self.host_id, envelope, duration)
+        self._scheduler.schedule(duration, self._tx_done, handle)
+
+    def _tx_done(self, handle: MacFrameHandle) -> None:
+        self._transmitting = False
+        self._last_tx_end = self._scheduler.now
+        if handle.is_unicast:
+            self._await_ack(handle)
+            return
+        self._backoff_remaining = self._draw_backoff()
+        self._maybe_resume()
+
+    # ------------------------------------------------------------- unicast
+
+    def _ack_timeout_interval(self) -> float:
+        ack_airtime = self._params.airtime(AckFrame.size_bytes)
+        return self._params.sifs + ack_airtime + 2 * self._params.slot_time
+
+    def _await_ack(self, handle: MacFrameHandle) -> None:
+        self._awaiting_ack = handle
+        self._ack_timeout_event = self._scheduler.schedule(
+            self._ack_timeout_interval(), self._ack_timeout
+        )
+
+    def _ack_received(self, acker_id: int) -> None:
+        handle = self._awaiting_ack
+        if handle is None or handle.dst != acker_id:
+            return
+        self._awaiting_ack = None
+        if self._ack_timeout_event is not None:
+            self._ack_timeout_event.cancel()
+            self._ack_timeout_event = None
+        self.stats.unicast_delivered += 1
+        self._cw = self._params.cw_min
+        if handle.on_complete is not None:
+            handle.on_complete(True)
+        self._backoff_remaining = self._draw_backoff()
+        self._maybe_resume()
+
+    def _ack_timeout(self) -> None:
+        handle = self._awaiting_ack
+        self._awaiting_ack = None
+        self._ack_timeout_event = None
+        if handle is None:
+            return
+        if handle.attempts > self._retry_limit:
+            self.stats.unicast_failed += 1
+            self._cw = self._params.cw_min
+            if handle.on_complete is not None:
+                handle.on_complete(False)
+        else:
+            self.stats.retries += 1
+            self._cw = min(2 * self._cw + 1, self._params.cw_max)
+            self._queue.appendleft(handle)
+        self._backoff_remaining = self._draw_backoff()
+        self._maybe_resume()
+
+    def _schedule_ack(self, dst: int) -> None:
+        self._scheduler.schedule(self._params.sifs, self._transmit_ack, dst)
+
+    def _transmit_ack(self, dst: int) -> None:
+        if self._transmitting:
+            # Radio busy with our own frame: the ACK is lost (the sender
+            # will retry).  Rare, but physically accurate for half-duplex.
+            self.stats.acks_suppressed += 1
+            return
+        # The ACK preempts normal access (SIFS < DIFS); cancel any pending
+        # access attempt and resume contention after the ACK is out.
+        self._freeze()
+        self._transmitting = True
+        self.stats.acks_sent += 1
+        ack = AckFrame(src=self.host_id, dst=dst)
+        duration = self._params.airtime(ack.size_bytes)
+        self._channel.start_transmission(self.host_id, ack, duration)
+        self._scheduler.schedule(duration, self._ack_tx_done)
+
+    def _ack_tx_done(self) -> None:
+        self._transmitting = False
+        self._last_tx_end = self._scheduler.now
+        self._maybe_resume()

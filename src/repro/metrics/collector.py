@@ -1,0 +1,208 @@
+"""Per-broadcast records and simulation-wide aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.net.packets import PacketKey
+
+__all__ = [
+    "BroadcastRecord",
+    "MetricsCollector",
+    "SummaryStat",
+    "SimulationSummary",
+]
+
+
+@dataclass
+class BroadcastRecord:
+    """Everything observed about one logical broadcast."""
+
+    key: PacketKey
+    source_id: int
+    origin_time: float
+    reachable_count: int  # e: hosts reachable from the source at initiation
+    received_times: Dict[int, float] = field(default_factory=dict)
+    rebroadcasters: Set[int] = field(default_factory=set)
+    decision_times: Dict[int, float] = field(default_factory=dict)
+    source_tx_end: Optional[float] = None
+    #: Present only when the collector was built with
+    #: ``store_reachable_sets=True`` (costs memory on long runs).
+    reachable_set: Optional[FrozenSet[int]] = None
+
+    @property
+    def received_count(self) -> int:
+        """r: non-source hosts that successfully received the packet."""
+        return len(self.received_times)
+
+    @property
+    def rebroadcast_count(self) -> int:
+        """t: non-source hosts that actually put a rebroadcast on the air."""
+        return len(self.rebroadcasters)
+
+    @property
+    def reachability(self) -> Optional[float]:
+        """RE = r / e, or ``None`` when the source was isolated (e = 0)."""
+        if self.reachable_count == 0:
+            return None
+        return self.received_count / self.reachable_count
+
+    @property
+    def saved_rebroadcast(self) -> Optional[float]:
+        """SRB = (r - t) / r, or ``None`` when nothing was received."""
+        if self.received_count == 0:
+            return None
+        return (
+            self.received_count - self.rebroadcast_count
+        ) / self.received_count
+
+    def latency(self, fallback_end: Optional[float] = None) -> Optional[float]:
+        """Initiation to the last rebroadcast-finish / inhibit decision.
+
+        Receiving hosts still undecided (possible only if the simulation was
+        cut off) are charged ``fallback_end``.  Returns ``None`` when nobody
+        received the packet.
+        """
+        if self.received_count == 0:
+            return None
+        last = self.source_tx_end if self.source_tx_end is not None else self.origin_time
+        for host_id in self.received_times:
+            decided = self.decision_times.get(host_id)
+            if decided is None:
+                decided = fallback_end if fallback_end is not None else self.origin_time
+            last = max(last, decided)
+        return last - self.origin_time
+
+
+@dataclass
+class SummaryStat:
+    """Mean / spread / count of one metric over all broadcasts."""
+
+    mean: float
+    std: float
+    count: int
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    @classmethod
+    def of(cls, values: List[float]) -> Optional["SummaryStat"]:
+        if not values:
+            return None
+        n = len(values)
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1) if n > 1 else 0.0
+        return cls(mean=mean, std=math.sqrt(var), count=n)
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregated RE / SRB / latency for one simulation run."""
+
+    reachability: Optional[SummaryStat]
+    saved_rebroadcast: Optional[SummaryStat]
+    latency: Optional[SummaryStat]
+    broadcasts: int
+    hello_packets_sent: int
+
+    def row(self) -> Dict[str, float]:
+        """Flat dict for result tables (NaN for undefined metrics)."""
+        return {
+            "re": self.reachability.mean if self.reachability else math.nan,
+            "srb": self.saved_rebroadcast.mean if self.saved_rebroadcast else math.nan,
+            "latency": self.latency.mean if self.latency else math.nan,
+            "broadcasts": self.broadcasts,
+            "hellos": self.hello_packets_sent,
+        }
+
+
+class MetricsCollector:
+    """Receives events from hosts and produces the simulation summary."""
+
+    def __init__(self, store_reachable_sets: bool = False) -> None:
+        self.records: Dict[PacketKey, BroadcastRecord] = {}
+        self.hello_packets_sent = 0
+        self.hello_counts_by_host: Dict[int, int] = {}
+        self.store_reachable_sets = store_reachable_sets
+
+    # ----------------------------------------------------------- events
+
+    def on_originate(
+        self,
+        key: PacketKey,
+        source_id: int,
+        time: float,
+        reachable_count: int,
+        reachable_set: Optional[FrozenSet[int]] = None,
+    ) -> None:
+        if key in self.records:
+            raise ValueError(f"duplicate broadcast key {key}")
+        self.records[key] = BroadcastRecord(
+            key=key,
+            source_id=source_id,
+            origin_time=time,
+            reachable_count=reachable_count,
+            reachable_set=(
+                reachable_set if self.store_reachable_sets else None
+            ),
+        )
+
+    def on_source_tx_end(self, key: PacketKey, time: float) -> None:
+        record = self.records.get(key)
+        if record is not None:
+            record.source_tx_end = time
+
+    def on_receive(self, key: PacketKey, host_id: int, time: float) -> None:
+        record = self.records.get(key)
+        if record is not None:
+            record.received_times.setdefault(host_id, time)
+
+    def on_rebroadcast_start(self, key: PacketKey, host_id: int, time: float) -> None:
+        record = self.records.get(key)
+        if record is not None:
+            record.rebroadcasters.add(host_id)
+
+    def on_rebroadcast_end(self, key: PacketKey, host_id: int, time: float) -> None:
+        record = self.records.get(key)
+        if record is not None:
+            record.decision_times[host_id] = time
+
+    def on_inhibit(self, key: PacketKey, host_id: int, time: float) -> None:
+        record = self.records.get(key)
+        if record is not None:
+            record.decision_times.setdefault(host_id, time)
+
+    def on_hello_sent(self, host_id: int) -> None:
+        self.hello_packets_sent += 1
+        self.hello_counts_by_host[host_id] = (
+            self.hello_counts_by_host.get(host_id, 0) + 1
+        )
+
+    # ------------------------------------------------------- aggregation
+
+    def summarize(self, end_time: Optional[float] = None) -> SimulationSummary:
+        """Aggregate every recorded broadcast into a summary."""
+        res, srbs, lats = [], [], []
+        for record in self.records.values():
+            re = record.reachability
+            if re is not None:
+                res.append(re)
+            srb = record.saved_rebroadcast
+            if srb is not None:
+                srbs.append(srb)
+            lat = record.latency(fallback_end=end_time)
+            if lat is not None:
+                lats.append(lat)
+        return SimulationSummary(
+            reachability=SummaryStat.of(res),
+            saved_rebroadcast=SummaryStat.of(srbs),
+            latency=SummaryStat.of(lats),
+            broadcasts=len(self.records),
+            hello_packets_sent=self.hello_packets_sent,
+        )

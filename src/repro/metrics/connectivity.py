@@ -1,0 +1,84 @@
+"""Connectivity snapshots over the unit-disk graph.
+
+``e`` in the RE metric is the number of hosts reachable from the source,
+directly or indirectly, at the moment the broadcast is initiated.  Positions
+are hashed into a grid of radio-radius-sized cells so neighbor candidates
+come from the 3x3 surrounding cells only, making a snapshot O(n * density)
+instead of O(n^2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Hashable, List, Set, Tuple
+
+__all__ = ["reachable_set", "connected_components"]
+
+Position = Tuple[float, float]
+
+
+def _grid_index(
+    positions: Dict[Hashable, Position], cell: float
+) -> Dict[Tuple[int, int], List[Hashable]]:
+    grid: Dict[Tuple[int, int], List[Hashable]] = defaultdict(list)
+    for host_id, (x, y) in positions.items():
+        grid[(int(x // cell), int(y // cell))].append(host_id)
+    return grid
+
+
+def _neighbors(
+    host_id: Hashable,
+    positions: Dict[Hashable, Position],
+    grid: Dict[Tuple[int, int], List[Hashable]],
+    radius: float,
+) -> List[Hashable]:
+    x, y = positions[host_id]
+    cx, cy = int(x // radius), int(y // radius)
+    rr = radius * radius
+    out = []
+    for gx in (cx - 1, cx, cx + 1):
+        for gy in (cy - 1, cy, cy + 1):
+            for other in grid.get((gx, gy), ()):
+                if other == host_id:
+                    continue
+                ox, oy = positions[other]
+                dx, dy = x - ox, y - oy
+                if dx * dx + dy * dy <= rr:
+                    out.append(other)
+    return out
+
+
+def reachable_set(
+    positions: Dict[Hashable, Position], source: Hashable, radius: float
+) -> Set[Hashable]:
+    """Hosts reachable from ``source`` by multihop paths (source excluded)."""
+    if source not in positions:
+        raise KeyError(f"source {source!r} has no position")
+    if radius <= 0:
+        raise ValueError(f"radius must be > 0, got {radius}")
+    grid = _grid_index(positions, radius)
+    visited = {source}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in _neighbors(current, positions, grid, radius):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    visited.discard(source)
+    return visited
+
+
+def connected_components(
+    positions: Dict[Hashable, Position], radius: float
+) -> List[Set[Hashable]]:
+    """All connected components of the unit-disk graph (largest first)."""
+    remaining = set(positions)
+    components = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = reachable_set(positions, seed, radius) | {seed}
+        components.append(component)
+        remaining -= component
+    components.sort(key=len, reverse=True)
+    return components

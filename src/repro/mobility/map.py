@@ -1,0 +1,68 @@
+"""The rectangular simulation map.
+
+The paper uses square maps of 1x1 .. 11x11 *units*, where one unit equals the
+radio radius (500 m).  :class:`RectMap` also provides the reflective folding
+used to keep straight-line motion inside the bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+__all__ = ["RectMap"]
+
+
+def _fold(value: float, size: float) -> float:
+    """Reflectively fold ``value`` into ``[0, size]``.
+
+    Straight-line motion that would exit the map is mirrored at the borders;
+    folding with period ``2 * size`` applies any number of bounces at once.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    period = 2.0 * size
+    value %= period
+    if value < 0:
+        value += period
+    if value > size:
+        value = period - value
+    return value
+
+
+class RectMap:
+    """An axis-aligned rectangular world ``[0, width] x [0, height]``."""
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"map must have positive size, got {width}x{height}")
+        self.width = float(width)
+        self.height = float(height)
+
+    @classmethod
+    def square_units(cls, units: int, unit_length: float = 500.0) -> "RectMap":
+        """The paper's ``units x units`` square map (unit = radio radius)."""
+        if units < 1:
+            raise ValueError(f"units must be >= 1, got {units}")
+        side = units * unit_length
+        return cls(side, side)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, point: Tuple[float, float]) -> bool:
+        """Whether ``point`` lies inside the map (borders inclusive)."""
+        x, y = point
+        return 0.0 <= x <= self.width and 0.0 <= y <= self.height
+
+    def reflect(self, point: Tuple[float, float]) -> Tuple[float, float]:
+        """Fold an unconstrained point back into the map by mirror reflection."""
+        return (_fold(point[0], self.width), _fold(point[1], self.height))
+
+    def random_point(self, rng: random.Random) -> Tuple[float, float]:
+        """A uniform random point inside the map."""
+        return (rng.uniform(0.0, self.width), rng.uniform(0.0, self.height))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RectMap({self.width:g} x {self.height:g} m)"

@@ -1,0 +1,47 @@
+"""Duplicate-broadcast detection.
+
+"We assume that a host can detect duplicate broadcast packets ... by
+associating with each broadcast packet a tuple (source ID, sequence number)"
+(paper Section 2.1).  A plain set suffices functionally; this cache also
+supports optional capacity bounding with FIFO eviction so multi-hour
+simulations do not grow without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+__all__ = ["DuplicateCache"]
+
+
+class DuplicateCache:
+    """Remembers packet keys this host has already processed."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self._capacity = capacity
+        self._seen: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def add(self, key: Hashable) -> bool:
+        """Record ``key``.  Returns ``True`` if it was new."""
+        if key in self._seen:
+            return False
+        self._seen[key] = None
+        if self._capacity is not None and len(self._seen) > self._capacity:
+            self._seen.popitem(last=False)
+        return True
+
+    def check_and_add(self, key: Hashable) -> bool:
+        """Alias of :meth:`add`, named for call-site readability."""
+        return self.add(key)
+
+    def clear(self) -> None:
+        self._seen.clear()

@@ -1,0 +1,161 @@
+"""Neighbor tables, two-hop knowledge, and the dynamic hello interval.
+
+One-hop discovery (paper Section 4.3): "A host x enlists another host h as
+its one-hop neighbor when a HELLO is received from h.  If no HELLO has been
+received from h for the past two hello intervals, host x deletes h as its
+one-hop neighbor."  With the dynamic-hello-interval scheme each host
+announces its own interval inside the HELLO, so the timeout applied to a
+neighbor is two of *that neighbor's* announced intervals.
+
+Two-hop knowledge for the neighbor-coverage scheme: HELLOs piggyback the
+sender's neighbor set ``N_h``; the receiver stores it as ``N_{x,h}``.
+
+Neighborhood variation (Section 4.3)::
+
+    nv_x = (#hosts joining or leaving N_x in the past 10 s) / (|N_x| * 10)
+
+Dynamic hello interval::
+
+    hi_x = max(hi_min, (nv_max - nv_x) / nv_max * hi_max)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.net.packets import HelloPacket
+
+__all__ = [
+    "NeighborEntry",
+    "NeighborTable",
+    "dynamic_hello_interval",
+    "DEFAULT_NV_WINDOW",
+]
+
+DEFAULT_NV_WINDOW = 10.0
+
+
+@dataclass
+class NeighborEntry:
+    """What host x knows about one neighbor h."""
+
+    host_id: int
+    last_heard: float
+    announced_interval: float
+    neighbor_ids: FrozenSet[int] = frozenset()  # N_{x,h}: h's announced neighbors
+
+
+class NeighborTable:
+    """Host-local neighbor knowledge built from received HELLOs."""
+
+    def __init__(
+        self,
+        default_interval: float,
+        timeout_multiplier: float = 2.0,
+        variation_window: float = DEFAULT_NV_WINDOW,
+    ) -> None:
+        if default_interval <= 0:
+            raise ValueError(f"default_interval must be > 0, got {default_interval}")
+        if timeout_multiplier <= 0:
+            raise ValueError(
+                f"timeout_multiplier must be > 0, got {timeout_multiplier}"
+            )
+        self._default_interval = default_interval
+        self._timeout_multiplier = timeout_multiplier
+        self._variation_window = variation_window
+        self._entries: Dict[int, NeighborEntry] = {}
+        # (time, host_id) of join/leave events, pruned to the window.
+        self._changes: Deque[Tuple[float, int]] = deque()
+
+    # ----------------------------------------------------------- updates
+
+    def update_from_hello(self, hello: HelloPacket, now: float) -> None:
+        """Process a received HELLO packet."""
+        interval = (
+            hello.hello_interval
+            if hello.hello_interval is not None
+            else self._default_interval
+        )
+        entry = self._entries.get(hello.sender_id)
+        if entry is None:
+            self._entries[hello.sender_id] = NeighborEntry(
+                host_id=hello.sender_id,
+                last_heard=now,
+                announced_interval=interval,
+                neighbor_ids=hello.neighbor_ids or frozenset(),
+            )
+            self._changes.append((now, hello.sender_id))
+        else:
+            entry.last_heard = now
+            entry.announced_interval = interval
+            if hello.neighbor_ids is not None:
+                entry.neighbor_ids = hello.neighbor_ids
+
+    def purge(self, now: float) -> Set[int]:
+        """Drop neighbors not heard within their timeout; returns the dropped ids."""
+        dropped = set()
+        for host_id, entry in list(self._entries.items()):
+            timeout = self._timeout_multiplier * entry.announced_interval
+            if now - entry.last_heard > timeout:
+                del self._entries[host_id]
+                dropped.add(host_id)
+                self._changes.append((now, host_id))
+        return dropped
+
+    # ----------------------------------------------------------- queries
+
+    def neighbor_ids(self, now: Optional[float] = None) -> Set[int]:
+        """Current one-hop neighbor set ``N_x`` (purged first if ``now`` given)."""
+        if now is not None:
+            self.purge(now)
+        return set(self._entries)
+
+    def neighbor_count(self, now: Optional[float] = None) -> int:
+        """``n = |N_x|``, the input to the adaptive threshold functions."""
+        if now is not None:
+            self.purge(now)
+        return len(self._entries)
+
+    def two_hop_neighbors(self, host_id: int) -> FrozenSet[int]:
+        """``N_{x,h}``: the neighbor set ``h`` announced, empty if unknown."""
+        entry = self._entries.get(host_id)
+        return entry.neighbor_ids if entry is not None else frozenset()
+
+    def knows(self, host_id: int) -> bool:
+        return host_id in self._entries
+
+    def variation(self, now: float) -> float:
+        """The paper's ``nv_x`` over the past ``variation_window`` seconds.
+
+        The denominator uses ``max(|N_x|, 1)`` to keep the value defined for
+        an isolated host (the paper's formula assumes a non-empty
+        neighborhood).
+        """
+        self.purge(now)
+        cutoff = now - self._variation_window
+        while self._changes and self._changes[0][0] < cutoff:
+            self._changes.popleft()
+        denom = max(len(self._entries), 1) * self._variation_window
+        return len(self._changes) / denom
+
+
+def dynamic_hello_interval(
+    variation: float,
+    nv_max: float = 0.02,
+    hi_min: float = 1.0,
+    hi_max: float = 10.0,
+) -> float:
+    """The paper's DHI formula: ``max(hi_min, (nv_max - nv)/nv_max * hi_max)``.
+
+    Variation at or above ``nv_max`` maps to ``hi_min``; zero variation maps
+    to ``hi_max``.  Defaults are the paper's simulation values
+    (``nv_max = 0.02``, ``hi_min = 1 s``, ``hi_max = 10 s``).
+    """
+    if nv_max <= 0:
+        raise ValueError(f"nv_max must be > 0, got {nv_max}")
+    if not 0 < hi_min <= hi_max:
+        raise ValueError(f"need 0 < hi_min <= hi_max, got {hi_min}..{hi_max}")
+    scaled = (nv_max - variation) / nv_max * hi_max
+    return max(hi_min, scaled)

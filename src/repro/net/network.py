@@ -1,0 +1,135 @@
+"""The simulated world: all hosts over one shared channel."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.connectivity import reachable_set
+from repro.mobility.map import RectMap
+from repro.mobility.models import MobilityModel, make_mobility
+from repro.net.host import HelloConfig, MobileHost
+from repro.net.packets import BroadcastPacket
+from repro.phy.capture import CaptureModel
+from repro.phy.channel import Channel
+from repro.phy.params import PhyParams
+from repro.schemes.base import RebroadcastScheme
+from repro.sim.engine import Scheduler
+from repro.sim.randomness import RandomStreams
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Builds and owns the hosts, channel and connectivity snapshots.
+
+    Host ids are ``0 .. num_hosts - 1``.  Each host gets independent random
+    substreams for mobility, MAC backoff, scheme jitter and hello
+    desynchronization, so comparisons across schemes with the same master
+    seed share identical mobility traces.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        params: PhyParams,
+        world: RectMap,
+        streams: RandomStreams,
+        num_hosts: int,
+        scheme_factory: Callable[[], RebroadcastScheme],
+        metrics: MetricsCollector,
+        max_speed_kmh: float,
+        mobility: str = "random-direction",
+        hello_config: Optional[HelloConfig] = None,
+        oracle_neighbors: bool = False,
+        drop_predicate: Optional[Callable[[int, int], bool]] = None,
+        mobility_factory: Optional[Callable[[int], "MobilityModel"]] = None,
+        capture: Optional["CaptureModel"] = None,
+    ) -> None:
+        if num_hosts < 1:
+            raise ValueError(f"need at least one host, got {num_hosts}")
+        self.scheduler = scheduler
+        self.params = params
+        self.world = world
+        self.metrics = metrics
+        self.hosts: List[MobileHost] = []
+        self.channel = Channel(
+            scheduler, params, self._position_of, drop_predicate,
+            capture=capture,
+        )
+        self._seq = 0
+
+        for host_id in range(num_hosts):
+            if mobility_factory is not None:
+                # Tests and topology-controlled experiments supply exact
+                # per-host mobility (e.g. static line / grid layouts).
+                mobility_model = mobility_factory(host_id)
+            else:
+                mobility_model = make_mobility(
+                    mobility,
+                    world,
+                    streams.stream(f"mobility/{host_id}"),
+                    max_speed_kmh,
+                )
+            host = MobileHost(
+                host_id=host_id,
+                scheduler=scheduler,
+                channel=self.channel,
+                params=params,
+                mobility=mobility_model,
+                scheme=scheme_factory(),
+                metrics=metrics,
+                mac_rng=streams.stream(f"mac/{host_id}"),
+                scheme_rng=streams.stream(f"scheme/{host_id}"),
+                hello_rng=streams.stream(f"hello/{host_id}"),
+                hello_config=hello_config,
+                oracle_neighbors=oracle_neighbors,
+            )
+            self.hosts.append(host)
+
+    def _position_of(self, host_id: int) -> Tuple[float, float]:
+        return self.hosts[host_id].mobility.position(self.scheduler.now)
+
+    # ------------------------------------------------------------- queries
+
+    def positions(self) -> Dict[int, Tuple[float, float]]:
+        """Snapshot of all host positions at the current time."""
+        now = self.scheduler.now
+        return {h.host_id: h.mobility.position(now) for h in self.hosts}
+
+    def reachable_from(self, source_id: int) -> Set[int]:
+        """Hosts currently reachable from ``source_id`` (source excluded)."""
+        return reachable_set(
+            self.positions(), source_id, self.params.radio_radius
+        )
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Start periodic host activity (hello protocols)."""
+        for host in self.hosts:
+            host.start()
+
+    def initiate_broadcast(self, source_id: int) -> BroadcastPacket:
+        """Originate a broadcast at ``source_id``, recording the snapshot.
+
+        Takes the connectivity snapshot (the ``e`` of RE) at this instant,
+        then hands the packet to the source's scheme.
+        """
+        if not 0 <= source_id < len(self.hosts):
+            raise ValueError(f"no such host {source_id}")
+        reachable = self.reachable_from(source_id)
+        self._seq += 1
+        seq = self._seq
+        source = self.hosts[source_id]
+        key = (source_id, seq)
+        self.metrics.on_originate(
+            key,
+            source_id,
+            self.scheduler.now,
+            len(reachable),
+            reachable_set=frozenset(reachable),
+        )
+        packet = source.initiate_broadcast(seq)
+        assert packet.key == key
+        return packet

@@ -1,0 +1,20 @@
+"""Physical layer: DSSS timing constants and the radio channel.
+
+- :class:`~repro.phy.params.PhyParams` holds the paper's fixed parameters
+  (500 m radius, 1 Mbit/s, IEEE 802.11 DSSS slot/SIFS/DIFS/PLCP timing).
+- :class:`~repro.phy.channel.Channel` is the shared medium: unit-disk
+  propagation, receiver-side overlap collisions (no capture effect), carrier
+  sensing, and busy/idle notifications to each host's MAC.
+"""
+
+from repro.phy.capture import CaptureModel
+from repro.phy.channel import Channel, ChannelStats, RadioListener
+from repro.phy.params import PhyParams
+
+__all__ = [
+    "PhyParams",
+    "Channel",
+    "ChannelStats",
+    "RadioListener",
+    "CaptureModel",
+]

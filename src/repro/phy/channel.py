@@ -1,0 +1,333 @@
+"""The shared radio medium.
+
+Propagation model
+-----------------
+Unit disk: a frame transmitted from position *p* is heard by every attached
+host within ``radio_radius`` of *p*.  The receiver set is frozen at
+transmission start; at the paper's parameters a frame lasts 2.432 ms, during
+which even an 80 km/h host moves under 6 cm, so mid-frame topology change is
+negligible.
+
+Collision model
+---------------
+Receiver-side overlap, no capture effect, which is what makes the broadcast
+storm bite:
+
+- If two or more frames overlap in time at a receiver, **all** of them are
+  corrupted at that receiver (the paper: without collision detection a host
+  keeps transmitting even if foregoing bits were garbled).
+- A host is half-duplex: frames arriving while it transmits are corrupted
+  for it, though they still occupy its carrier sense afterwards.
+
+Carrier sensing
+---------------
+Edge-triggered ``on_medium_state(busy)`` notifications track *incoming*
+energy only (transitions of the host's in-flight reception set between empty
+and non-empty); a host's own transmission state is something its MAC already
+knows, so it is deliberately excluded from the notifications.  The
+:meth:`Channel.carrier_busy` poll, used by tests, reports the physical truth
+(incoming energy or own transmission).
+
+Busy notifications are delivered through a zero-delay event rather than
+synchronously.  This models the fact that clear-channel assessment cannot
+sense a carrier instantaneously (the paper: "carriers cannot be sensed
+immediately due to things such as RF delays"): stations whose backoff
+countdowns expire at the same instant all transmit and collide, instead of
+the second one impossibly sensing the first with zero delay.  Idle
+notifications are synchronous -- at frame end there is no equivalent race.
+
+Failure injection
+-----------------
+``drop_predicate(sender_id, receiver_id)`` lets tests corrupt arbitrary
+links deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.geometry.points import distance_sq
+from repro.phy.capture import CaptureModel
+from repro.phy.params import PhyParams
+from repro.sim.engine import Scheduler
+from repro.sim.trace import NullTracer, Tracer
+
+__all__ = ["Channel", "ChannelStats", "RadioListener"]
+
+PositionFn = Callable[[int], Tuple[float, float]]
+
+
+class RadioListener:
+    """What the channel needs from an attached host (implemented by the MAC)."""
+
+    def on_medium_state(self, busy: bool) -> None:
+        """Edge-triggered carrier-sense change."""
+        raise NotImplementedError
+
+    def on_frame_received(self, frame: Any, sender_id: int) -> None:
+        """A frame completed without collision."""
+        raise NotImplementedError
+
+    def on_frame_corrupted(self, frame: Any, sender_id: int) -> None:
+        """A frame completed but was garbled at this receiver."""
+
+
+@dataclass
+class ChannelStats:
+    """Medium-wide counters, cumulative over a simulation."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    collisions: int = 0
+    deaf_misses: int = 0  # frame arrived while the receiver was transmitting
+    injected_drops: int = 0
+    #: Per-host seconds spent transmitting / receiving energy.  A standard
+    #: first-order energy proxy: radio energy ~ a*tx_airtime + b*rx_airtime.
+    tx_airtime: Dict[int, float] = field(default_factory=dict)
+    rx_airtime: Dict[int, float] = field(default_factory=dict)
+
+    def add_tx_airtime(self, host_id: int, duration: float) -> None:
+        self.tx_airtime[host_id] = self.tx_airtime.get(host_id, 0.0) + duration
+
+    def add_rx_airtime(self, host_id: int, duration: float) -> None:
+        self.rx_airtime[host_id] = self.rx_airtime.get(host_id, 0.0) + duration
+
+    @property
+    def total_tx_airtime(self) -> float:
+        return sum(self.tx_airtime.values())
+
+    @property
+    def total_rx_airtime(self) -> float:
+        return sum(self.rx_airtime.values())
+
+
+class _Reception:
+    __slots__ = ("frame", "sender_id", "corrupted", "power")
+
+    def __init__(
+        self, frame: Any, sender_id: int, corrupted: bool, power: float = 1.0
+    ) -> None:
+        self.frame = frame
+        self.sender_id = sender_id
+        self.corrupted = corrupted
+        self.power = power
+
+
+class _Transmission:
+    __slots__ = ("sender_id", "frame", "end_time", "receiver_ids", "position")
+
+    def __init__(
+        self,
+        sender_id: int,
+        frame: Any,
+        end_time: float,
+        receiver_ids: List[int],
+        position: Tuple[float, float],
+    ) -> None:
+        self.sender_id = sender_id
+        self.frame = frame
+        self.end_time = end_time
+        self.receiver_ids = receiver_ids
+        self.position = position
+
+
+class Channel:
+    """Unit-disk broadcast medium with receiver-side collisions."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        params: PhyParams,
+        position_of: PositionFn,
+        drop_predicate: Optional[Callable[[int, int], bool]] = None,
+        tracer: Optional[Tracer] = None,
+        capture: Optional["CaptureModel"] = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._params = params
+        self._position_of = position_of
+        self._drop_predicate = drop_predicate
+        self._tracer = tracer or NullTracer()
+        self._capture = capture
+        self._listeners: Dict[int, RadioListener] = {}
+        self._active: Dict[int, _Transmission] = {}
+        self._incoming: Dict[int, Dict[int, _Reception]] = {}
+        self.stats = ChannelStats()
+
+    @property
+    def params(self) -> PhyParams:
+        return self._params
+
+    def attach(self, host_id: int, listener: RadioListener) -> None:
+        """Register a host's radio.  Host ids must be unique."""
+        if host_id in self._listeners:
+            raise ValueError(f"host {host_id} already attached")
+        self._listeners[host_id] = listener
+        self._incoming[host_id] = {}
+
+    def detach(self, host_id: int) -> None:
+        """Remove a host (e.g. to simulate going offline)."""
+        self._listeners.pop(host_id, None)
+        self._incoming.pop(host_id, None)
+
+    @property
+    def attached_ids(self) -> List[int]:
+        return list(self._listeners)
+
+    def is_transmitting(self, host_id: int) -> bool:
+        return host_id in self._active
+
+    def carrier_busy(self, host_id: int) -> bool:
+        """Whether ``host_id`` senses energy (incoming or its own TX)."""
+        return bool(self._incoming.get(host_id)) or host_id in self._active
+
+    def neighbors_in_range(self, host_id: int) -> List[int]:
+        """Geometric oracle: attached hosts within radio range right now."""
+        center = self._position_of(host_id)
+        rr = self._params.radio_radius ** 2
+        out = []
+        for other_id in self._listeners:
+            if other_id == host_id:
+                continue
+            if distance_sq(center, self._position_of(other_id)) <= rr:
+                out.append(other_id)
+        return out
+
+    def start_transmission(self, sender_id: int, frame: Any, duration: float) -> None:
+        """Put ``frame`` on the air from ``sender_id`` for ``duration`` seconds.
+
+        Called by the MAC exactly when transmission begins (after DIFS /
+        backoff).  Raises if the sender is already transmitting.
+        """
+        if sender_id not in self._listeners:
+            raise ValueError(f"host {sender_id} not attached")
+        if sender_id in self._active:
+            raise RuntimeError(f"host {sender_id} is already transmitting")
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+
+        now = self._scheduler.now
+        sender_pos = self._position_of(sender_id)
+        rr = self._params.radio_radius ** 2
+        self.stats.transmissions += 1
+        self.stats.add_tx_airtime(sender_id, duration)
+        self._tracer.emit(
+            now, "tx-start", sender=sender_id, duration=duration,
+            position=sender_pos,
+        )
+
+        # Half-duplex: anything the sender was receiving is now garbled.
+        for reception in self._incoming[sender_id].values():
+            if not reception.corrupted:
+                reception.corrupted = True
+                self.stats.deaf_misses += 1
+
+        receiver_ids: List[int] = []
+        tx = _Transmission(sender_id, frame, now + duration, receiver_ids, sender_pos)
+        self._active[sender_id] = tx
+        newly_busy: List[int] = []
+
+        for host_id, listener in self._listeners.items():
+            if host_id == sender_id:
+                continue
+            dist_sq = distance_sq(sender_pos, self._position_of(host_id))
+            if dist_sq > rr:
+                continue
+            receiver_ids.append(host_id)
+            self.stats.add_rx_airtime(host_id, duration)
+            corrupted = False
+            if host_id in self._active:
+                # Receiver is itself on the air: deaf to this frame.
+                corrupted = True
+                self.stats.deaf_misses += 1
+            elif self._drop_predicate is not None and self._drop_predicate(
+                sender_id, host_id
+            ):
+                corrupted = True
+                self.stats.injected_drops += 1
+            power = (
+                self._capture.power(dist_sq ** 0.5)
+                if self._capture is not None
+                else 1.0
+            )
+            inbox = self._incoming[host_id]
+            was_idle = not inbox
+            reception = _Reception(frame, sender_id, corrupted, power)
+            inbox[sender_id] = reception
+            if len(inbox) > 1:
+                self._resolve_overlap(inbox)
+            if was_idle:
+                newly_busy.append(host_id)
+
+        if newly_busy:
+            self._scheduler.schedule(0.0, self._notify_busy, newly_busy)
+        self._scheduler.schedule(duration, self._end_transmission, sender_id)
+
+    def _resolve_overlap(self, inbox: Dict[int, "_Reception"]) -> None:
+        """Corrupt overlapping receptions, honoring the capture model.
+
+        Without capture every frame in the overlap is garbled.  With
+        capture each still-live frame survives only if its power beats the
+        summed interference of the others by the configured SIR threshold;
+        once corrupted, a frame stays corrupted (receivers cannot resync
+        mid-frame).
+        """
+        if self._capture is None:
+            for reception in inbox.values():
+                if not reception.corrupted:
+                    reception.corrupted = True
+                    self.stats.collisions += 1
+            return
+        total = sum(r.power for r in inbox.values())
+        for reception in inbox.values():
+            if reception.corrupted:
+                continue
+            if not self._capture.survives(
+                reception.power, total - reception.power
+            ):
+                reception.corrupted = True
+                self.stats.collisions += 1
+
+    def _notify_busy(self, host_ids: List[int]) -> None:
+        for host_id in host_ids:
+            listener = self._listeners.get(host_id)
+            if listener is not None:
+                listener.on_medium_state(True)
+
+    def _end_transmission(self, sender_id: int) -> None:
+        tx = self._active.pop(sender_id)
+        completed: List[Tuple[int, _Reception]] = []
+        newly_idle: List[int] = []
+        for host_id in tx.receiver_ids:
+            inbox = self._incoming.get(host_id)
+            if inbox is None:  # receiver detached mid-frame
+                continue
+            reception = inbox.pop(sender_id, None)
+            if reception is None:
+                continue
+            completed.append((host_id, reception))
+            if not inbox:
+                newly_idle.append(host_id)
+
+        for host_id in newly_idle:
+            listener = self._listeners.get(host_id)
+            if listener is not None:
+                listener.on_medium_state(False)
+        for host_id, reception in completed:
+            listener = self._listeners.get(host_id)
+            if listener is None:
+                continue
+            if reception.corrupted:
+                self._tracer.emit(
+                    self._scheduler.now, "rx-corrupted",
+                    sender=sender_id, receiver=host_id,
+                )
+                listener.on_frame_corrupted(reception.frame, sender_id)
+            else:
+                self.stats.deliveries += 1
+                self._tracer.emit(
+                    self._scheduler.now, "rx",
+                    sender=sender_id, receiver=host_id,
+                )
+                listener.on_frame_received(reception.frame, sender_id)

@@ -1,0 +1,67 @@
+"""Physical-layer parameters (paper Section 4, "fixed parameters").
+
+All times are in **seconds**, sizes in bytes, rates in bits/second.
+Defaults are exactly the paper's values: transmission radius 500 m,
+broadcast packet 280 bytes, 1 Mbit/s, DSSS timing (slot 20 us, SIFS 10 us,
+DIFS 50 us, backoff window 31..1023, PLCP preamble 144 us + header 48 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhyParams"]
+
+
+@dataclass(frozen=True)
+class PhyParams:
+    """Immutable physical/MAC layer constants."""
+
+    radio_radius: float = 500.0
+    bitrate: float = 1_000_000.0
+    slot_time: float = 20e-6
+    sifs: float = 10e-6
+    difs: float = 50e-6
+    cw_min: int = 31
+    cw_max: int = 1023
+    plcp_preamble: float = 144e-6
+    plcp_header: float = 48e-6
+    broadcast_payload_bytes: int = 280
+    hello_payload_bytes: int = 20
+
+    def __post_init__(self) -> None:
+        if self.radio_radius <= 0:
+            raise ValueError(f"radio_radius must be > 0, got {self.radio_radius}")
+        if self.bitrate <= 0:
+            raise ValueError(f"bitrate must be > 0, got {self.bitrate}")
+        if self.slot_time <= 0:
+            raise ValueError(f"slot_time must be > 0, got {self.slot_time}")
+        if not 0 < self.cw_min <= self.cw_max:
+            raise ValueError(
+                f"need 0 < cw_min <= cw_max, got {self.cw_min}..{self.cw_max}"
+            )
+
+    @property
+    def plcp_overhead(self) -> float:
+        """Total PLCP preamble + header time prepended to every frame."""
+        return self.plcp_preamble + self.plcp_header
+
+    def airtime(self, payload_bytes: int) -> float:
+        """On-air duration of a frame carrying ``payload_bytes``.
+
+        ``PLCP overhead + payload_bits / bitrate``.  For the paper's default
+        280-byte broadcast at 1 Mbit/s this is 192 us + 2240 us = 2.432 ms.
+        """
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload {payload_bytes}")
+        return self.plcp_overhead + payload_bytes * 8.0 / self.bitrate
+
+    @property
+    def broadcast_airtime(self) -> float:
+        """Airtime of the standard 280-byte broadcast packet."""
+        return self.airtime(self.broadcast_payload_bytes)
+
+    @property
+    def hello_airtime(self) -> float:
+        """Airtime of a (base-size) HELLO packet."""
+        return self.airtime(self.hello_payload_bytes)

@@ -1,0 +1,39 @@
+"""On-demand routing over the broadcast schemes (AODV-lite).
+
+The paper motivates its broadcast schemes as the substrate for MANET route
+discovery (DSR/AODV/ZRP flood a *route_request* through the network).  This
+package closes that loop with a minimal AODV-style protocol:
+
+- :class:`~repro.routing.messages.RouteRequest` is a broadcast packet --
+  it propagates through **whatever rebroadcast scheme the hosts run**, so
+  the storm-relief schemes directly reduce discovery cost.
+- Hosts forwarding an RREQ learn a *reverse route* to the originator; the
+  target answers with a unicast :class:`~repro.routing.messages.RouteReply`
+  that hops back along the reverse pointers, installing forward routes.
+- Data packets are then forwarded hop-by-hop via the acknowledged unicast
+  MAC (:meth:`repro.mac.csma.CsmaCaMac.send_unicast`), with route
+  invalidation on link failure and bounded re-discovery.
+
+Typical use::
+
+    from repro.routing import attach_agents
+
+    agents = attach_agents(network)   # one agent per host
+    agents[3].send_data(dest=42, payload="hello",
+                        on_result=lambda ok: print("delivered:", ok))
+"""
+
+from repro.routing.agent import RoutingAgent, RoutingStats, attach_agents
+from repro.routing.messages import DataPacket, RouteReply, RouteRequest
+from repro.routing.table import RouteEntry, RouteTable
+
+__all__ = [
+    "RouteRequest",
+    "RouteReply",
+    "DataPacket",
+    "RouteTable",
+    "RouteEntry",
+    "RoutingAgent",
+    "RoutingStats",
+    "attach_agents",
+]

@@ -1,0 +1,91 @@
+"""Per-host route table with expiry and invalidation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["RouteEntry", "RouteTable", "DEFAULT_ROUTE_LIFETIME"]
+
+DEFAULT_ROUTE_LIFETIME = 10.0
+
+
+@dataclass
+class RouteEntry:
+    """Next hop toward a destination."""
+
+    dest_id: int
+    next_hop: int
+    hop_count: int
+    expires_at: float
+
+
+class RouteTable:
+    """Destination -> next-hop mapping with soft-state expiry.
+
+    Updates keep the better route: a fresher entry replaces an expired one,
+    and among live entries the shorter hop count wins (ties refresh the
+    lifetime).
+    """
+
+    def __init__(self, lifetime: float = DEFAULT_ROUTE_LIFETIME) -> None:
+        if lifetime <= 0:
+            raise ValueError(f"lifetime must be > 0, got {lifetime}")
+        self._lifetime = lifetime
+        self._entries: Dict[int, RouteEntry] = {}
+
+    def update(
+        self, dest_id: int, next_hop: int, hop_count: int, now: float
+    ) -> bool:
+        """Offer a route; returns True if the table changed."""
+        if hop_count < 1:
+            raise ValueError(f"hop_count must be >= 1, got {hop_count}")
+        current = self.lookup(dest_id, now)
+        if current is not None and current.hop_count < hop_count:
+            return False
+        self._entries[dest_id] = RouteEntry(
+            dest_id=dest_id,
+            next_hop=next_hop,
+            hop_count=hop_count,
+            expires_at=now + self._lifetime,
+        )
+        return True
+
+    def lookup(self, dest_id: int, now: float) -> Optional[RouteEntry]:
+        """The live entry for ``dest_id``, or None (expired entries drop)."""
+        entry = self._entries.get(dest_id)
+        if entry is None:
+            return None
+        if entry.expires_at <= now:
+            del self._entries[dest_id]
+            return None
+        return entry
+
+    def refresh(self, dest_id: int, now: float) -> None:
+        """Extend the lifetime of a route that just carried traffic."""
+        entry = self._entries.get(dest_id)
+        if entry is not None and entry.expires_at > now:
+            entry.expires_at = now + self._lifetime
+
+    def invalidate(self, dest_id: int) -> bool:
+        """Drop the route (e.g. after a forwarding failure)."""
+        return self._entries.pop(dest_id, None) is not None
+
+    def invalidate_via(self, next_hop: int) -> int:
+        """Drop every route through a broken next hop; returns the count."""
+        broken = [
+            dest for dest, entry in self._entries.items()
+            if entry.next_hop == next_hop
+        ]
+        for dest in broken:
+            del self._entries[dest]
+        return len(broken)
+
+    def known_destinations(self, now: float) -> Dict[int, RouteEntry]:
+        """All live entries (purging expired ones)."""
+        for dest in list(self._entries):
+            self.lookup(dest, now)
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,80 @@
+"""Broadcast schemes: the paper's contributions and the [15] baselines.
+
+===================  ==========================================  ==========
+Registry name        Scheme                                      Origin
+===================  ==========================================  ==========
+flooding             blind flooding                              baseline
+counter              fixed-threshold counter ``C``               [15]
+distance             fixed-threshold distance ``D``              [15]
+location             fixed-threshold additional coverage ``A``   [15]
+adaptive-counter     ``C(n)`` of neighbor count                  this paper
+adaptive-location    ``A(n)`` of neighbor count                  this paper
+neighbor-coverage    two-hop pending-set suppression             this paper
+===================  ==========================================  ==========
+
+:func:`make_scheme` builds a configured scheme instance from a registry
+name plus keyword parameters (e.g. ``make_scheme("counter", threshold=4)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.schemes.adaptive_counter import AdaptiveCounterScheme
+from repro.schemes.adaptive_location import AdaptiveLocationScheme
+from repro.schemes.base import (
+    DeferredRebroadcastScheme,
+    PendingBroadcast,
+    RebroadcastScheme,
+    SchemeHost,
+)
+from repro.schemes.counter import CounterScheme
+from repro.schemes.distance import DistanceScheme
+from repro.schemes.flooding import FloodingScheme
+from repro.schemes.location import LocationScheme
+from repro.schemes.neighbor_coverage import NeighborCoverageScheme
+from repro.schemes.thresholds import (
+    make_counter_threshold,
+    make_location_threshold,
+)
+
+__all__ = [
+    "RebroadcastScheme",
+    "DeferredRebroadcastScheme",
+    "PendingBroadcast",
+    "SchemeHost",
+    "FloodingScheme",
+    "CounterScheme",
+    "DistanceScheme",
+    "LocationScheme",
+    "AdaptiveCounterScheme",
+    "AdaptiveLocationScheme",
+    "NeighborCoverageScheme",
+    "SCHEME_REGISTRY",
+    "make_scheme",
+    "make_counter_threshold",
+    "make_location_threshold",
+]
+
+SCHEME_REGISTRY: Dict[str, Callable[..., RebroadcastScheme]] = {
+    "flooding": FloodingScheme,
+    "counter": CounterScheme,
+    "distance": DistanceScheme,
+    "location": LocationScheme,
+    "adaptive-counter": AdaptiveCounterScheme,
+    "adaptive-location": AdaptiveLocationScheme,
+    "neighbor-coverage": NeighborCoverageScheme,
+}
+
+
+def make_scheme(name: str, **params: Any) -> RebroadcastScheme:
+    """Instantiate a scheme from its registry name.
+
+    Raises ``ValueError`` with the list of known names on a bad name, so a
+    typo in an experiment config fails loudly and early.
+    """
+    factory = SCHEME_REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(sorted(SCHEME_REGISTRY))
+        raise ValueError(f"unknown scheme {name!r}; known schemes: {known}")
+    return factory(**params)

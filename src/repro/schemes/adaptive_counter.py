@@ -1,0 +1,42 @@
+"""Adaptive counter-based scheme (paper Section 3.1 -- first contribution).
+
+Identical to the counter scheme except the threshold is the function
+``C(n)`` of the host's *current* neighbor count ``n``: high (``n + 1``) when
+the neighborhood is sparse -- a host there is likely at a critical position
+and must rebroadcast (Observation 1) -- and the floor value 2 when crowded,
+where saving matters more than coverage (Observation 2).
+
+``n`` is re-read from the neighbor table at every threshold test, so a host
+whose neighborhood changes mid-wait adapts on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schemes.base import PendingBroadcast
+from repro.schemes.counter import CounterScheme
+from repro.schemes.thresholds import CounterThresholdFn, make_counter_threshold
+
+__all__ = ["AdaptiveCounterScheme"]
+
+
+class AdaptiveCounterScheme(CounterScheme):
+    """Counter scheme with threshold ``C(n)``."""
+
+    name = "adaptive-counter"
+    needs_hello = True
+
+    def __init__(self, threshold_fn: Optional[CounterThresholdFn] = None) -> None:
+        # Bypass CounterScheme's constant-threshold validation: we override
+        # every use of ``self.threshold`` with the function below.
+        super().__init__(threshold=2)
+        self.threshold_fn = threshold_fn or make_counter_threshold()
+
+    def describe(self) -> str:
+        label = getattr(self.threshold_fn, "label", "C(n)")
+        return f"AC[{label}]"
+
+    def should_inhibit(self, state: PendingBroadcast) -> bool:
+        n = self.host.neighbor_count()
+        return state.assessment[0] >= self.threshold_fn(n)

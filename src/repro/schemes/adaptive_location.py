@@ -1,0 +1,34 @@
+"""Adaptive location-based scheme (paper Section 3.2 -- second contribution).
+
+The location scheme with threshold ``A(n)``: zero below ``n1`` neighbors
+(forcing sparse hosts to rebroadcast), rising linearly to
+``EAC(2)/pi r^2 = 0.187`` at ``n2`` and constant after.  The tuned values
+from Fig. 9 are ``(n1, n2) = (6, 12)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schemes.location import LocationScheme
+from repro.schemes.thresholds import LocationThresholdFn, make_location_threshold
+
+__all__ = ["AdaptiveLocationScheme"]
+
+
+class AdaptiveLocationScheme(LocationScheme):
+    """Location scheme with threshold ``A(n)``."""
+
+    name = "adaptive-location"
+    needs_hello = True
+
+    def __init__(self, threshold_fn: Optional[LocationThresholdFn] = None) -> None:
+        super().__init__(threshold=0.0)
+        self.threshold_fn = threshold_fn or make_location_threshold()
+
+    def describe(self) -> str:
+        label = getattr(self.threshold_fn, "label", "A(n)")
+        return f"AL[{label}]"
+
+    def current_threshold(self) -> float:
+        return self.threshold_fn(self.host.neighbor_count())

@@ -1,0 +1,54 @@
+"""Fixed-threshold counter-based scheme (from [15], reviewed in Section 2.3.1).
+
+A counter ``c`` tracks how many times the host has heard the same broadcast
+packet; when ``c`` reaches the constant threshold ``C`` before the
+rebroadcast gets on the air, the rebroadcast is cancelled.  ``C`` of 3-4
+saves many rebroadcasts in dense networks; ``C > 6`` behaves almost like
+flooding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.packets import BroadcastPacket
+from repro.schemes.base import DeferredRebroadcastScheme, PendingBroadcast
+
+__all__ = ["CounterScheme"]
+
+
+class CounterScheme(DeferredRebroadcastScheme):
+    """Inhibit once the packet has been heard ``threshold`` times."""
+
+    name = "counter"
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 2:
+            raise ValueError(
+                f"counter threshold must be >= 2 (got {threshold}); C < 2 "
+                "would inhibit every rebroadcast"
+            )
+        super().__init__()
+        self.threshold = threshold
+
+    def describe(self) -> str:
+        return f"C={self.threshold}"
+
+    def init_assessment(
+        self,
+        packet: BroadcastPacket,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> List[int]:
+        return [1]  # S1: c = 1
+
+    def update_assessment(
+        self,
+        state: PendingBroadcast,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> None:
+        state.assessment[0] += 1  # S4: c += 1
+
+    def should_inhibit(self, state: PendingBroadcast) -> bool:
+        return state.assessment[0] >= self.threshold

@@ -1,0 +1,65 @@
+"""Fixed-threshold distance-based scheme (from [15]).
+
+The paper under reproduction reviews this scheme alongside the counter and
+location schemes but does not re-simulate it; we include it for completeness
+and for the ablation benches.
+
+The host tracks ``d_min``, the distance to the *closest* transmitter it has
+heard the packet from.  A small ``d_min`` means the host's rebroadcast would
+add little coverage (the additional-coverage function is increasing in
+``d``), so the rebroadcast is inhibited when ``d_min < D``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.geometry.points import distance
+from repro.net.packets import BroadcastPacket
+from repro.schemes.base import DeferredRebroadcastScheme, PendingBroadcast
+
+__all__ = ["DistanceScheme"]
+
+
+class DistanceScheme(DeferredRebroadcastScheme):
+    """Inhibit when the nearest heard transmitter is closer than ``threshold``."""
+
+    name = "distance"
+    needs_position = True
+
+    def __init__(self, threshold: float = 125.0) -> None:
+        if threshold < 0:
+            raise ValueError(f"distance threshold must be >= 0, got {threshold}")
+        super().__init__()
+        self.threshold = threshold
+
+    def describe(self) -> str:
+        return f"D={self.threshold:g}m"
+
+    def _distance_to(self, sender_position: Optional[Tuple[float, float]]) -> float:
+        if sender_position is None:
+            # Sender without GPS: assume the worst case (zero distance) so
+            # behaviour degrades safely toward inhibition.
+            return 0.0
+        return distance(self.host.position(), sender_position)
+
+    def init_assessment(
+        self,
+        packet: BroadcastPacket,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> List[float]:
+        return [self._distance_to(sender_position)]
+
+    def update_assessment(
+        self,
+        state: PendingBroadcast,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> None:
+        state.assessment[0] = min(
+            state.assessment[0], self._distance_to(sender_position)
+        )
+
+    def should_inhibit(self, state: PendingBroadcast) -> bool:
+        return state.assessment[0] < self.threshold

@@ -1,0 +1,42 @@
+"""Blind flooding (the baseline the storm indicts).
+
+On the first reception of a broadcast packet the host rebroadcasts it,
+unconditionally and at most once.  No scheme-level jitter is applied -- all
+timing differentiation is left to the MAC's backoff, which is exactly what
+makes flooding collide so badly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.net.packets import BroadcastPacket
+from repro.schemes.base import DeferredRebroadcastScheme, PendingBroadcast
+
+__all__ = ["FloodingScheme"]
+
+
+class FloodingScheme(DeferredRebroadcastScheme):
+    """Rebroadcast every packet exactly once, immediately."""
+
+    name = "flooding"
+    jitter_slots = 0
+
+    def init_assessment(
+        self,
+        packet: BroadcastPacket,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> Any:
+        return None
+
+    def update_assessment(
+        self,
+        state: PendingBroadcast,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> None:
+        pass
+
+    def should_inhibit(self, state: PendingBroadcast) -> bool:
+        return False

@@ -1,0 +1,183 @@
+"""Heap-based discrete-event scheduler.
+
+Time is a ``float`` in **seconds**.  All physical-layer constants in
+:mod:`repro.phy` are expressed in seconds as well, so microsecond-scale MAC
+timing and second-scale mobility coexist on one clock.
+
+Determinism
+-----------
+Two events scheduled for the same instant are ordered by ``(time, priority,
+sequence)``.  ``sequence`` is a monotonically increasing insertion counter, so
+ties fall back to FIFO order.  Given the same seed (see
+:class:`repro.sim.randomness.RandomStreams`), a simulation replays exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Scheduler", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling into the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Scheduler.schedule` /
+    :meth:`Scheduler.schedule_at`; user code holds on to the returned object
+    only if it may need to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it.
+
+        Cancelling an already-fired or already-cancelled event is a no-op.
+        """
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.9f} p={self.priority} {name} [{state}]>"
+
+
+class Scheduler:
+    """A minimal, fast discrete-event scheduler.
+
+    Example::
+
+        sched = Scheduler()
+        sched.schedule(1.5, print, "fires at t=1.5")
+        sched.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of queued events, including cancelled husks."""
+        return len(self._queue)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``.
+
+        ``priority`` breaks ties among same-time events (lower fires first).
+        Raises :class:`SimulationError` if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or ``until`` is reached.
+
+        Returns the final simulation time.  When ``until`` is given and the
+        queue still holds later events, the clock is advanced exactly to
+        ``until`` (events at ``t == until`` are executed).
+        """
+        if self._running:
+            raise SimulationError("scheduler is already running (reentrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._events_processed += 1
+                event.fn(*event.args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

@@ -1,0 +1,163 @@
+"""Generator-based processes communicating through signals.
+
+The paper describes its C++ engine as simulating "systems that can be modeled
+by processes communicating through signals".  This module provides that
+abstraction on top of :class:`repro.sim.engine.Scheduler`:
+
+- A :class:`Process` wraps a generator.  The generator yields *wait
+  conditions* and is resumed when they are satisfied.
+- ``yield Timeout(delay)`` suspends for ``delay`` seconds.
+- ``yield WaitSignal(sig)`` suspends until ``sig.emit(value)`` is called;
+  the ``yield`` expression evaluates to ``value``.
+
+Example::
+
+    sched = Scheduler()
+    ping = Signal("ping")
+
+    def listener():
+        value = yield WaitSignal(ping)
+        print("got", value)
+
+    def emitter():
+        yield Timeout(1.0)
+        ping.emit("hello")
+
+    Process(sched, listener())
+    Process(sched, emitter())
+    sched.run()
+
+The MAC and host state machines in this package use plain callbacks for
+speed, but the process layer is part of the public API (and exercised by the
+examples and tests) because it is the natural way to express higher-level
+protocol experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim.engine import Scheduler, SimulationError
+
+__all__ = ["Process", "Signal", "Timeout", "WaitSignal"]
+
+
+class Timeout:
+    """Wait condition: resume after ``delay`` seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay}")
+        self.delay = delay
+
+
+class WaitSignal:
+    """Wait condition: resume when the signal is emitted."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: "Signal") -> None:
+        self.signal = signal
+
+
+class Signal:
+    """A broadcast rendezvous point between processes.
+
+    ``emit(value)`` wakes every process currently waiting on the signal, in
+    the order they started waiting.  Wakeups are delivered as zero-delay
+    scheduled events (same timestamp, after the current event completes), so
+    an emitter that waits on a reply signal immediately after emitting does
+    not miss a synchronous response -- the classic lost-wakeup race.
+    Processes that begin waiting at or after the emit see only subsequent
+    emits.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List["Process"] = []
+
+    def emit(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._schedule_resume(value)
+        return len(waiters)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """Drives a generator, suspending on yielded wait conditions.
+
+    The process starts immediately at construction time (its body runs until
+    the first ``yield`` as soon as the scheduler reaches the current event).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        body: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self._scheduler = scheduler
+        self._body = body
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._waiting_on: Optional[Signal] = None
+        self._pending_event = scheduler.schedule(0.0, self._resume, None)
+
+    def interrupt(self) -> None:
+        """Stop the process: close its generator and cancel pending waits."""
+        if self.finished:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        self._body.close()
+        self.finished = True
+
+    def _schedule_resume(self, value: Any) -> None:
+        self._waiting_on = None
+        self._pending_event = self._scheduler.schedule(0.0, self._resume, value)
+
+    def _resume(self, value: Any) -> None:
+        self._pending_event = None
+        self._waiting_on = None
+        try:
+            condition = self._body.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        if isinstance(condition, Timeout):
+            self._pending_event = self._scheduler.schedule(
+                condition.delay, self._resume, None
+            )
+        elif isinstance(condition, WaitSignal):
+            self._waiting_on = condition.signal
+            condition.signal._add_waiter(self)
+        else:
+            self._body.close()
+            self.finished = True
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported condition "
+                f"{condition!r}; expected Timeout or WaitSignal"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"

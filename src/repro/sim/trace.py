@@ -1,0 +1,63 @@
+"""Lightweight event tracing.
+
+Tracers receive ``(time, category, **fields)`` records from instrumented
+components.  The default :class:`NullTracer` discards everything at near-zero
+cost; :class:`RecordingTracer` keeps records for tests and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Tracer", "NullTracer", "RecordingTracer", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace record: a timestamped, categorized bag of fields."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any]
+
+
+class Tracer:
+    """Tracer interface.  Subclasses override :meth:`emit`."""
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """Discards all records."""
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        pass
+
+
+class RecordingTracer(Tracer):
+    """Keeps every record in memory; supports simple filtering."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        self.records.append(TraceRecord(time, category, fields))
+
+    def filter(self, category: Optional[str] = None, **field_filters: Any) -> List[TraceRecord]:
+        """Records matching ``category`` (if given) and all ``field_filters``."""
+        out = []
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if all(record.fields.get(k) == v for k, v in field_filters.items()):
+                out.append(record)
+        return out
+
+    def count(self, category: Optional[str] = None, **field_filters: Any) -> int:
+        """Number of matching records."""
+        return len(self.filter(category, **field_filters))
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,11 @@
+"""Terminal visualization of experiment results (no plotting deps).
+
+ASCII charts good enough to eyeball the paper's figure shapes straight from
+the CLI::
+
+    repro-manet figure fig07 --chart
+"""
+
+from repro.viz.ascii_chart import bar_chart, line_chart, sparkline
+
+__all__ = ["sparkline", "line_chart", "bar_chart"]

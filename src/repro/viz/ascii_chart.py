@@ -1,0 +1,126 @@
+"""Pure-text charts: sparklines, line/scatter charts, bar charts."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["sparkline", "line_chart", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_SERIES_MARKS = "ox*+#@%&"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [v for v in values if not (math.isnan(v) or math.isinf(v))]
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar-density rendering of a numeric series.
+
+    NaN/inf render as spaces.  A constant series renders mid-level.
+    """
+    finite = _finite(values)
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for value in values:
+        if math.isnan(value) or math.isinf(value):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_LEVELS[len(_SPARK_LEVELS) // 2])
+        else:
+            index = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    finite = _finite(values)
+    top = max_value if max_value is not None else (max(finite) if finite else 1.0)
+    if top <= 0:
+        top = 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        if math.isnan(value):
+            bar, shown = "", "nan"
+        else:
+            bar = "#" * max(0, min(width, round(value / top * width)))
+            shown = f"{value:.3f}"
+        lines.append(f"{label:<{label_width}} |{bar:<{width}} {shown}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Multi-series scatter chart on a character grid with a legend.
+
+    Each series gets a distinct mark; overlapping points show the later
+    series' mark.  X positions are scaled by value (not by rank), so
+    uneven sweeps (1, 5, 9) land where they should.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    points = [
+        (x, y)
+        for pts in series.values()
+        for x, y in pts
+        if not (math.isnan(y) or math.isinf(y))
+    ]
+    if not points:
+        raise ValueError("no finite points to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        mark = _SERIES_MARKS[index % len(_SERIES_MARKS)]
+        for x, y in pts:
+            if math.isnan(y) or math.isinf(y):
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            row = max(0, min(height - 1, row))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>8.3f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_lo:>8.3f} +" + "-" * width)
+    lines.append(f"{'':9} {x_lo:<10g}{'':^{max(0, width - 20)}}{x_hi:>10g}")
+    legend = "   ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

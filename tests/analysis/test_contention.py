@@ -1,0 +1,69 @@
+"""cf(n, k) Monte Carlo (paper Fig. 2)."""
+
+import random
+
+import pytest
+
+from repro.analysis.contention import (
+    contention_free_counts,
+    contention_free_probabilities,
+    count_isolated,
+)
+
+
+def test_single_receiver_always_contention_free():
+    cf = contention_free_probabilities(1, trials=100)
+    assert cf[1] == 1.0
+    assert cf[0] == 0.0
+
+
+def test_two_receivers_contention_probability_near_59_percent():
+    """cf(2, 0) should match the paper's 59% pairwise contention integral."""
+    cf = contention_free_probabilities(2, trials=20000, rng=random.Random(7))
+    assert cf[0] == pytest.approx(0.59, abs=0.02)
+
+
+def test_cf_n_nminus1_is_exactly_zero():
+    """Having n-1 isolated vertices implies all n are isolated."""
+    for n in (2, 3, 5, 8):
+        cf = contention_free_probabilities(n, trials=2000, rng=random.Random(n))
+        assert cf[n - 1] == 0.0
+
+
+def test_cf_all_contended_grows_past_08_for_dense():
+    """Paper: cf(n, 0) rises over 0.8 as n >= 6."""
+    cf6 = contention_free_probabilities(6, trials=5000, rng=random.Random(8))
+    assert cf6[0] > 0.8
+
+
+def test_cf1_declines_with_n():
+    """cf(n, 1) 'drops sharply as n increases' (from n = 3 on; cf(2, 1) is
+    identically zero by the n-1 rule)."""
+    rng = random.Random(9)
+    cf_small = contention_free_probabilities(3, trials=5000, rng=rng)
+    cf_large = contention_free_probabilities(8, trials=5000, rng=rng)
+    assert cf_large[1] < cf_small[1]
+
+
+def test_probabilities_sum_to_one():
+    cf = contention_free_probabilities(5, trials=3000, rng=random.Random(10))
+    assert sum(cf.values()) == pytest.approx(1.0)
+
+
+def test_counts_total_equals_trials():
+    counts = contention_free_counts(4, trials=777, rng=random.Random(11))
+    assert sum(counts) == 777
+
+
+def test_count_isolated_known_layouts():
+    # Two points far apart: both isolated.
+    assert count_isolated([(0, 0), (5, 5)], radius=1.0) == 2
+    # Two points within range: none isolated.
+    assert count_isolated([(0, 0), (0.5, 0)], radius=1.0) == 0
+    # A pair plus a loner.
+    assert count_isolated([(0, 0), (0.5, 0), (10, 10)], radius=1.0) == 1
+
+
+def test_invalid_n():
+    with pytest.raises(ValueError):
+        contention_free_counts(0)

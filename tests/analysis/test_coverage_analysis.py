@@ -1,0 +1,49 @@
+"""EAC(k) Monte Carlo (paper Fig. 1)."""
+
+import random
+
+import pytest
+
+from repro.analysis.coverage import eac_table, expected_additional_coverage
+
+
+def test_eac1_matches_mean_additional_coverage():
+    value = expected_additional_coverage(1, trials=3000, rng=random.Random(1))
+    assert value == pytest.approx(0.41, abs=0.02)
+
+
+def test_eac_below_5_percent_from_k4():
+    """Paper: 'when k >= 4, the expected additional coverage is below 5%'."""
+    table = eac_table(max_k=6, trials=1500, seed=2)
+    for k in range(4, 7):
+        assert table[k] < 0.05
+
+
+def test_eac_monotonically_decreasing():
+    table = eac_table(max_k=8, trials=1500, seed=3)
+    values = [table[k] for k in range(1, 9)]
+    assert all(a > b for a, b in zip(values, values[1:]))
+
+
+def test_eac2_near_0_187():
+    """EAC(2)/pi r^2 ~= 0.187, the A(n) plateau value."""
+    value = expected_additional_coverage(2, trials=4000, rng=random.Random(4))
+    assert value == pytest.approx(0.187, abs=0.02)
+
+
+def test_eac_values_in_unit_interval():
+    table = eac_table(max_k=5, trials=500, seed=5)
+    assert all(0.0 <= v <= 1.0 for v in table.values())
+
+
+def test_eac_radius_free():
+    a = expected_additional_coverage(2, trials=800, rng=random.Random(6), radius=1.0)
+    b = expected_additional_coverage(2, trials=800, rng=random.Random(6), radius=500.0)
+    assert a == pytest.approx(b, abs=1e-12)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        expected_additional_coverage(0)
+    with pytest.raises(ValueError):
+        expected_additional_coverage(1, trials=0)

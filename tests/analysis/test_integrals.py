@@ -1,0 +1,32 @@
+"""The paper's Section 2.2 quadrature results."""
+
+import pytest
+
+from repro.analysis.integrals import (
+    expected_contention_probability,
+    max_additional_coverage_fraction,
+    mean_additional_coverage_fraction,
+)
+
+
+def test_max_additional_coverage_is_61_percent():
+    """'a rebroadcast can provide at most 61 percent additional coverage'."""
+    assert max_additional_coverage_fraction() == pytest.approx(0.609, abs=0.002)
+
+
+def test_mean_additional_coverage_is_41_percent():
+    """'the average additional coverage ... ~= 0.41 pi r^2'."""
+    assert mean_additional_coverage_fraction() == pytest.approx(0.41, abs=0.005)
+
+
+def test_expected_contention_is_59_percent():
+    """'the expected probability of contention ... ~= 59%'."""
+    assert expected_contention_probability() == pytest.approx(0.59, abs=0.005)
+
+
+def test_coverage_and_contention_are_complementary():
+    """Both integrals weight INTC by the same density; they sum to 1."""
+    total = (
+        mean_additional_coverage_fraction() + expected_contention_probability()
+    )
+    assert total == pytest.approx(1.0, abs=1e-9)

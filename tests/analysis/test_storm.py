@@ -1,0 +1,53 @@
+"""Simulation-side storm decomposition."""
+
+import pytest
+
+from repro.analysis.storm import StormDecomposition
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_broadcast_simulation
+
+
+def run(scheme="flooding", map_units=1, hosts=40, **params):
+    config = ScenarioConfig(
+        scheme=scheme, scheme_params=params, map_units=map_units,
+        num_hosts=hosts, num_broadcasts=10, max_speed_kmh=10.0, seed=21,
+    )
+    return run_broadcast_simulation(config)
+
+
+def test_flooding_single_cell_is_maximally_redundant():
+    """In one radio cell, flooding delivers ~n copies per distinct receipt."""
+    result = run()
+    decomposition = StormDecomposition.from_result(result)
+    # 40 hosts: each receiving host hears up to 39 copies of each packet.
+    assert decomposition.redundancy_factor > 10.0
+    assert 0.0 < decomposition.collision_fraction < 1.0
+
+
+def test_counter_scheme_cuts_redundancy():
+    flooding = StormDecomposition.from_result(run())
+    suppressed = StormDecomposition.from_result(run("counter", threshold=2))
+    assert suppressed.redundancy_factor < flooding.redundancy_factor / 2
+    assert suppressed.transmissions < flooding.transmissions
+
+
+def test_contention_counts_backoffs():
+    decomposition = StormDecomposition.from_result(run())
+    assert decomposition.contention_backoffs_per_tx > 0.0
+
+
+def test_empty_simulation_is_all_zeroes():
+    config = ScenarioConfig(
+        scheme="flooding", map_units=1, num_hosts=5, num_broadcasts=0,
+    )
+    decomposition = StormDecomposition.from_result(
+        run_broadcast_simulation(config)
+    )
+    assert decomposition.redundancy_factor == 0.0
+    assert decomposition.collision_fraction == 0.0
+    assert decomposition.transmissions == 0
+
+
+def test_describe_format():
+    text = StormDecomposition.from_result(run()).describe()
+    assert "redundancy" in text and "collisions" in text

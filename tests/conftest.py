@@ -1,0 +1,25 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.phy.params import PhyParams
+from repro.sim.engine import Scheduler
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    return Scheduler()
+
+
+@pytest.fixture
+def params() -> PhyParams:
+    return PhyParams()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

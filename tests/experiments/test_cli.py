@@ -1,0 +1,110 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--scheme", "magic"])
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])
+
+
+def test_run_command_prints_summary(capsys):
+    exit_code = main(
+        [
+            "run", "--scheme", "flooding", "--map", "3", "--hosts", "20",
+            "--broadcasts", "3", "--seed", "5",
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "RE=" in out and "SRB=" in out
+
+
+def test_run_command_counter_threshold(capsys):
+    exit_code = main(
+        [
+            "run", "--scheme", "counter", "--counter-threshold", "2",
+            "--map", "3", "--hosts", "20", "--broadcasts", "3",
+        ]
+    )
+    assert exit_code == 0
+    assert "counter@3x3" in capsys.readouterr().out
+
+
+def test_figure_fig01(capsys):
+    assert main(["figure", "fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "EAC(k)" in out
+
+
+def test_figure_fig02(capsys):
+    assert main(["figure", "fig02"]) == 0
+    assert "cf(n, k)" in capsys.readouterr().out
+
+
+def test_figure_simulation_with_reduced_grid(capsys):
+    exit_code = main(
+        ["figure", "fig07", "--broadcasts", "2", "--maps", "1"]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Fig. 7" in out
+    assert "AC" in out
+
+
+def test_dynamic_hello_flag(capsys):
+    exit_code = main(
+        [
+            "run", "--scheme", "neighbor-coverage", "--dynamic-hello",
+            "--map", "1", "--hosts", "10", "--broadcasts", "2",
+        ]
+    )
+    assert exit_code == 0
+
+
+def test_sweep_command(capsys, tmp_path):
+    json_path = tmp_path / "sweep.json"
+    exit_code = main(
+        [
+            "sweep", "--schemes", "flooding", "--maps", "1",
+            "--hosts", "15", "--broadcasts", "2", "--seeds", "1", "2",
+            "--json", str(json_path),
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "flooding" in out and "+/-" in out
+    import json
+
+    runs = json.loads(json_path.read_text())
+    assert len(runs) == 2  # one scheme x one map x two seeds
+    assert {r["config"]["seed"] for r in runs} == {1, 2}
+
+
+def test_figure_csv_flag(capsys, tmp_path):
+    csv_path = tmp_path / "fig.csv"
+    exit_code = main(
+        [
+            "figure", "fig07", "--broadcasts", "2", "--maps", "1",
+            "--csv", str(csv_path),
+        ]
+    )
+    assert exit_code == 0
+    assert csv_path.exists()
+    assert "series" in csv_path.read_text().splitlines()[0]
+
+
+def test_figure_chart_flag(capsys):
+    exit_code = main(
+        ["figure", "fig07", "--broadcasts", "2", "--maps", "1", "--chart"]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "(RE)" in out  # the chart title

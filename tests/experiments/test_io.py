@@ -1,0 +1,87 @@
+"""Result persistence."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures.common import FigureResult, SeriesPoint
+from repro.experiments.io import (
+    figure_result_from_dict,
+    figure_result_to_csv,
+    figure_result_to_dict,
+    load_json,
+    result_to_dict,
+    save_json,
+    write_figure_csv,
+)
+from repro.experiments.runner import run_broadcast_simulation
+
+
+@pytest.fixture
+def small_result():
+    return run_broadcast_simulation(
+        ScenarioConfig(scheme="flooding", map_units=3, num_hosts=15,
+                       num_broadcasts=2, seed=9)
+    )
+
+
+@pytest.fixture
+def figure():
+    result = FigureResult("Fig. X", "map")
+    result.add("a", SeriesPoint(x=1, re=0.95, srb=0.4, latency=0.02, hellos=7))
+    result.add("a", SeriesPoint(x=5, re=0.9, srb=0.3, latency=0.03))
+    result.add("b", SeriesPoint(x=1, re=0.8, srb=0.0, latency=0.05))
+    return result
+
+
+def test_result_to_dict_roundtrips_through_json(small_result):
+    data = result_to_dict(small_result)
+    encoded = json.dumps(data)
+    decoded = json.loads(encoded)
+    assert decoded["config"]["scheme"] == "flooding"
+    assert decoded["metrics"]["broadcasts"] == 2
+    assert decoded["channel"]["transmissions"] > 0
+
+
+def test_result_dict_skips_unserializable_scheme_params():
+    config = ScenarioConfig(
+        scheme="adaptive-counter",
+        scheme_params={"threshold_fn": lambda n: 2},
+        map_units=1, num_hosts=5, num_broadcasts=1,
+    )
+    result = run_broadcast_simulation(config)
+    data = result_to_dict(result)
+    assert data["config"]["scheme_params"] == {}
+    json.dumps(data)  # must not raise
+
+
+def test_figure_result_json_roundtrip(figure):
+    data = figure_result_to_dict(figure)
+    rebuilt = figure_result_from_dict(json.loads(json.dumps(data)))
+    assert rebuilt.figure == figure.figure
+    assert rebuilt.series.keys() == figure.series.keys()
+    assert rebuilt.value_at("a", 5, "srb") == 0.3
+    assert rebuilt.series["a"][0].hellos == 7
+
+
+def test_save_and_load_json(tmp_path, figure):
+    path = tmp_path / "figure.json"
+    save_json(figure_result_to_dict(figure), path)
+    data = load_json(path)
+    assert figure_result_from_dict(data).value_at("b", 1, "re") == 0.8
+
+
+def test_csv_has_one_row_per_point(figure):
+    text = figure_result_to_csv(figure)
+    lines = text.strip().splitlines()
+    assert len(lines) == 1 + 3  # header + 3 points
+    assert lines[0].startswith("figure,series,map")
+    assert "Fig. X,a,1,0.95" in lines[1]
+
+
+def test_write_figure_csv(tmp_path, figure):
+    path = tmp_path / "figure.csv"
+    write_figure_csv(figure, path)
+    assert path.read_text().count("\n") >= 4

@@ -1,0 +1,25 @@
+"""Reproduction-report generator (smoke on a minimal grid)."""
+
+from repro.experiments.report import generate_report
+
+
+def test_report_contains_every_figure_section():
+    progress = []
+    report = generate_report(
+        maps=(1,), num_broadcasts=2, seed=2, progress=progress.append
+    )
+    for fig in ("Fig. 1", "Fig. 2", "Fig. 5", "Fig. 7", "Fig. 9",
+                "Fig. 10", "Fig. 11", "Fig. 12", "Fig. 13"):
+        assert fig in report, fig
+    # Progress callback saw each stage.
+    assert "fig01" in progress and "fig13" in progress
+    # Markdown structure: a title and fenced tables.
+    assert report.startswith("# Reproduction report")
+    assert report.count("```") % 2 == 0
+    assert report.count("```") >= 18
+
+
+def test_report_records_parameters():
+    report = generate_report(maps=(1,), num_broadcasts=2, seed=7)
+    assert "broadcasts/scenario=2" in report
+    assert "maps=[1]" in report

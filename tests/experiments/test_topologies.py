@@ -1,0 +1,78 @@
+"""Topology generators and the static-network builder."""
+
+import math
+
+import pytest
+
+from repro.experiments.topologies import (
+    build_static_network,
+    grid_positions,
+    line_positions,
+    ring_positions,
+    star_positions,
+    two_clusters_positions,
+)
+from repro.geometry.points import distance
+from repro.schemes import FloodingScheme
+from repro.sim.engine import Scheduler
+
+
+def test_line_spacing():
+    positions = line_positions(4, 100.0)
+    assert positions == [(0.0, 0.0), (100.0, 0.0), (200.0, 0.0), (300.0, 0.0)]
+
+
+def test_grid_count_and_extent():
+    positions = grid_positions(3, 4, 10.0)
+    assert len(positions) == 12
+    assert max(p[0] for p in positions) == 30.0
+    assert max(p[1] for p in positions) == 20.0
+
+
+def test_star_hub_first_leaves_at_radius():
+    positions = star_positions(6, 200.0)
+    hub = positions[0]
+    for leaf in positions[1:]:
+        assert distance(hub, leaf) == pytest.approx(200.0)
+
+
+def test_ring_equidistant_from_center():
+    positions = ring_positions(8, 50.0, center=(10.0, 10.0))
+    for p in positions:
+        assert distance((10.0, 10.0), p) == pytest.approx(50.0)
+
+
+def test_two_clusters_gap():
+    positions = two_clusters_positions(3, 50.0, gap=1000.0)
+    assert len(positions) == 6
+    left_x = [p[0] for p in positions[:3]]
+    right_x = [p[0] for p in positions[3:]]
+    assert max(left_x) < min(right_x)
+
+
+def test_generators_validate():
+    with pytest.raises(ValueError):
+        line_positions(0, 1.0)
+    with pytest.raises(ValueError):
+        grid_positions(0, 3, 1.0)
+    with pytest.raises(ValueError):
+        star_positions(0, 1.0)
+    with pytest.raises(ValueError):
+        ring_positions(0, 1.0)
+
+
+def test_build_static_network_preserves_relative_geometry():
+    scheduler = Scheduler()
+    network, _ = build_static_network(
+        scheduler, [(-100.0, -50.0), (300.0, -50.0)], FloodingScheme
+    )
+    positions = network.positions()
+    assert distance(positions[0], positions[1]) == pytest.approx(400.0)
+    # Everything inside the world.
+    for p in positions.values():
+        assert network.world.contains(p)
+
+
+def test_build_static_network_empty_rejected():
+    with pytest.raises(ValueError):
+        build_static_network(Scheduler(), [], FloodingScheme)

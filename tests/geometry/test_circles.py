@@ -1,0 +1,81 @@
+"""Two-circle lens area and the paper's coverage formulas."""
+
+import math
+
+import pytest
+
+from repro.geometry.circles import (
+    additional_coverage_area,
+    additional_coverage_fraction,
+    intc,
+    intc_integrand_form,
+    lens_area,
+)
+
+
+def test_coincident_circles_full_overlap():
+    assert lens_area(1.0, 0.0) == pytest.approx(math.pi)
+
+
+def test_disjoint_circles_zero_overlap():
+    assert lens_area(1.0, 2.0) == 0.0
+    assert lens_area(1.0, 5.0) == 0.0
+
+
+def test_lens_area_known_value_at_d_equals_r():
+    # INTC(r) = (2*pi/3 - sqrt(3)/2) r^2; classic result.
+    expected = 2.0 * math.pi / 3.0 - math.sqrt(3.0) / 2.0
+    assert lens_area(1.0, 1.0) == pytest.approx(expected, rel=1e-12)
+
+
+def test_lens_area_monotonically_decreasing_in_d():
+    values = [lens_area(1.0, d / 10.0) for d in range(0, 21)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+def test_lens_area_scales_with_radius_squared():
+    assert lens_area(2.0, 1.0) == pytest.approx(4.0 * lens_area(1.0, 0.5))
+
+
+def test_closed_form_matches_paper_integral_definition():
+    for d in (0.1, 0.5, 1.0, 1.5, 1.9):
+        assert lens_area(1.0, d) == pytest.approx(
+            intc_integrand_form(d), rel=1e-5
+        )
+
+
+def test_intc_paper_argument_order():
+    assert intc(0.7, r=1.0) == lens_area(1.0, 0.7)
+
+
+def test_intc_integrand_form_disjoint():
+    assert intc_integrand_form(2.5, r=1.0) == 0.0
+
+
+def test_additional_coverage_peak_is_61_percent():
+    """The paper's bound: rebroadcast at d = r adds ~0.61 pi r^2."""
+    assert additional_coverage_fraction(1.0) == pytest.approx(0.609, abs=0.001)
+
+
+def test_additional_coverage_zero_at_zero_distance():
+    assert additional_coverage_area(0.0) == 0.0
+
+
+def test_additional_coverage_full_disk_when_disjoint():
+    assert additional_coverage_area(2.0) == pytest.approx(math.pi)
+    assert additional_coverage_area(10.0) == pytest.approx(math.pi)
+
+
+def test_additional_coverage_fraction_in_unit_interval():
+    for d in (0.0, 0.3, 0.9, 1.4, 2.0, 3.0):
+        frac = additional_coverage_fraction(d)
+        assert 0.0 <= frac <= 1.0
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        lens_area(0.0, 1.0)
+    with pytest.raises(ValueError):
+        lens_area(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        lens_area(1.0, -0.1)

@@ -1,0 +1,79 @@
+"""Disk sampling and multi-circle coverage estimation."""
+
+import math
+
+import pytest
+
+from repro.geometry.circles import additional_coverage_fraction
+from repro.geometry.coverage import DiskSampler, uncovered_fraction
+
+
+def test_sampler_points_inside_unit_disk():
+    sampler = DiskSampler(500)
+    for x, y in sampler.points((0.0, 0.0), 1.0):
+        assert x * x + y * y <= 1.0 + 1e-12
+
+
+def test_sampler_points_scaled_and_translated():
+    sampler = DiskSampler(100)
+    for x, y in sampler.points((10.0, -5.0), 3.0):
+        assert (x - 10.0) ** 2 + (y + 5.0) ** 2 <= 9.0 + 1e-9
+
+
+def test_no_cover_means_fraction_one():
+    assert uncovered_fraction((0, 0), 1.0, [], 1.0) == 1.0
+
+
+def test_full_cover_by_coincident_circle():
+    assert uncovered_fraction((0, 0), 1.0, [(0, 0)], 1.0) == 0.0
+
+
+def test_far_away_circle_covers_nothing():
+    assert uncovered_fraction((0, 0), 1.0, [(5.0, 0.0)], 1.0) == 1.0
+
+
+def test_single_cover_matches_closed_form():
+    """Sampled uncovered fraction ~= 1 - INTC(d)/(pi r^2)."""
+    sampler = DiskSampler(4096)
+    for d in (0.25, 0.5, 1.0, 1.5):
+        estimated = sampler.uncovered_fraction((0, 0), 1.0, [(d, 0.0)], 1.0)
+        exact = additional_coverage_fraction(d)
+        assert estimated == pytest.approx(exact, abs=0.02)
+
+
+def test_more_covers_never_increase_uncovered():
+    sampler = DiskSampler(512)
+    centers = [(0.8, 0.0), (-0.5, 0.4), (0.1, -0.9)]
+    previous = 1.0
+    for k in range(1, len(centers) + 1):
+        frac = sampler.uncovered_fraction((0, 0), 1.0, centers[:k], 1.0)
+        assert frac <= previous + 1e-12
+        previous = frac
+
+
+def test_deterministic():
+    a = DiskSampler(256).uncovered_fraction((0, 0), 1.0, [(0.7, 0.2)], 1.0)
+    b = DiskSampler(256).uncovered_fraction((0, 0), 1.0, [(0.7, 0.2)], 1.0)
+    assert a == b
+
+
+def test_result_scale_invariant():
+    small = uncovered_fraction((0, 0), 1.0, [(0.5, 0.0)], 1.0)
+    large = uncovered_fraction((0, 0), 500.0, [(250.0, 0.0)], 500.0)
+    assert small == pytest.approx(large, abs=1e-12)
+
+
+def test_invalid_sampler_size():
+    with pytest.raises(ValueError):
+        DiskSampler(0)
+
+
+def test_lattice_near_uniform():
+    """Quadrant counts of the Fibonacci lattice stay within a few percent."""
+    sampler = DiskSampler(4000)
+    quadrants = [0, 0, 0, 0]
+    for x, y in sampler.points((0.0, 0.0), 1.0):
+        index = (0 if x >= 0 else 1) + (0 if y >= 0 else 2)
+        quadrants[index] += 1
+    for count in quadrants:
+        assert count == pytest.approx(1000, rel=0.05)

@@ -1,0 +1,46 @@
+"""Point and distance helpers."""
+
+import math
+
+from repro.geometry.points import Point, distance, distance_sq
+
+
+def test_point_is_a_tuple():
+    p = Point(1.0, 2.0)
+    assert p == (1.0, 2.0)
+    assert p.x == 1.0 and p.y == 2.0
+
+
+def test_distance_345_triangle():
+    assert distance((0, 0), (3, 4)) == 5.0
+
+
+def test_distance_sq_avoids_sqrt():
+    assert distance_sq((0, 0), (3, 4)) == 25.0
+
+
+def test_distance_symmetric():
+    a, b = (1.5, -2.0), (4.0, 7.25)
+    assert distance(a, b) == distance(b, a)
+
+
+def test_distance_zero_for_same_point():
+    assert distance((2.0, 3.0), (2.0, 3.0)) == 0.0
+
+
+def test_translated():
+    assert Point(1.0, 2.0).translated(0.5, -1.0) == Point(1.5, 1.0)
+
+
+def test_towards_midpoint():
+    assert Point(0.0, 0.0).towards(Point(2.0, 4.0), 0.5) == Point(1.0, 2.0)
+
+
+def test_towards_endpoints():
+    a, b = Point(1.0, 1.0), Point(3.0, 5.0)
+    assert a.towards(b, 0.0) == a
+    assert a.towards(b, 1.0) == b
+
+
+def test_plain_tuples_accepted():
+    assert math.isclose(distance((0.0, 0.0), (1.0, 1.0)), math.sqrt(2.0))

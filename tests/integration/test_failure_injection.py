@@ -1,0 +1,113 @@
+"""Failure injection: forced losses, deaf links, stale neighbor tables."""
+
+import pytest
+
+from repro.experiments.topologies import (
+    build_static_network,
+    grid_positions,
+    line_positions,
+)
+from repro.net.host import HelloConfig
+from repro.schemes import CounterScheme, FloodingScheme, NeighborCoverageScheme
+from repro.sim.engine import Scheduler
+
+
+def run_one(positions, scheme_factory, drop_predicate=None, hello_config=None,
+            source=0, start_at=1.0, until=20.0):
+    scheduler = Scheduler()
+    network, metrics = build_static_network(
+        scheduler, positions, scheme_factory,
+        drop_predicate=drop_predicate, hello_config=hello_config,
+    )
+    network.start()
+    if hello_config is not None:
+        start_at = max(start_at, 3.0 * hello_config.interval)
+    scheduler.schedule_at(start_at, network.initiate_broadcast, source)
+    scheduler.run(until=until)
+    return network, metrics, next(iter(metrics.records.values()))
+
+
+def test_severed_relay_link_breaks_line():
+    """Dropping every frame on the 1 -> 2 link cuts hosts 2+ off."""
+
+    def sever(sender, receiver):
+        return sender == 1 and receiver == 2
+
+    _, _, record = run_one(
+        line_positions(4, 400.0), FloodingScheme, drop_predicate=sever
+    )
+    # e was computed geometrically (3 reachable) but only host 1 receives.
+    assert record.received_count == 1
+    assert record.reachability == pytest.approx(1 / 3)
+
+
+def test_lossless_control_reaches_everyone():
+    _, _, record = run_one(line_positions(4, 400.0), FloodingScheme)
+    assert record.reachability == 1.0
+
+
+def test_redundancy_masks_single_bad_link():
+    """In a dense cluster, killing one link leaves other paths intact --
+    the redundancy the storm schemes rely on."""
+
+    def sever(sender, receiver):
+        return sender == 0 and receiver == 3
+
+    _, _, record = run_one(
+        grid_positions(2, 3, 60.0), FloodingScheme, drop_predicate=sever,
+        source=0,
+    )
+    assert record.reachability == 1.0
+
+
+def test_counter_scheme_under_heavy_random_loss():
+    """30% random loss: the counter scheme still resolves every decision
+    (no stuck pending state), even if RE suffers."""
+    import random
+    loss_rng = random.Random(7)
+
+    def lossy(sender, receiver):
+        return loss_rng.random() < 0.3
+
+    _, metrics, record = run_one(
+        grid_positions(3, 3, 300.0), lambda: CounterScheme(threshold=3),
+        drop_predicate=lossy,
+    )
+    assert 0.0 <= (record.reachability or 0.0) <= 1.0
+    # Every receiving host reached a decision.
+    for host_id in record.received_times:
+        assert host_id in record.decision_times
+
+
+def test_hello_starvation_degrades_neighbor_coverage():
+    """If every HELLO from host 1 is dropped, its neighbors never learn it
+    exists; NC may then fail to cover it."""
+
+    def drop_hellos_from_1(sender, receiver):
+        return sender == 1
+
+    scheduler = Scheduler()
+    network, metrics = build_static_network(
+        scheduler, line_positions(3, 400.0), NeighborCoverageScheme,
+        hello_config=HelloConfig(interval=1.0),
+        drop_predicate=drop_hellos_from_1,
+    )
+    network.start()
+    scheduler.run(until=6.0)
+    # Hosts 0 and 2 never enlist host 1.
+    assert 1 not in network.hosts[0].neighbor_table.neighbor_ids(now=6.0)
+    assert 1 not in network.hosts[2].neighbor_table.neighbor_ids(now=6.0)
+
+
+def test_detached_host_stops_participating():
+    scheduler = Scheduler()
+    network, metrics = build_static_network(
+        scheduler, line_positions(4, 400.0), FloodingScheme
+    )
+    network.start()
+    scheduler.schedule_at(0.5, network.channel.detach, 2)
+    scheduler.schedule_at(1.0, network.initiate_broadcast, 0)
+    scheduler.run(until=10.0)
+    record = next(iter(metrics.records.values()))
+    # Host 2 is offline: the chain stops at host 1.
+    assert set(record.received_times) == {1}

@@ -1,0 +1,149 @@
+"""Integration under mobility: moving hosts change what the schemes see."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.mobility.map import RectMap
+from repro.mobility.models import MobilityModel, StaticMobility
+from repro.net.host import HelloConfig
+from repro.net.network import Network
+from repro.schemes import AdaptiveCounterScheme, FloodingScheme, NeighborCoverageScheme
+from repro.sim.engine import Scheduler
+from repro.sim.randomness import RandomStreams
+from repro.phy.params import PhyParams
+
+
+class LinearMobility(MobilityModel):
+    """Constant-velocity motion (deterministic test trajectories)."""
+
+    def __init__(self, start, velocity):
+        self._start = start
+        self._velocity = velocity
+
+    def position(self, time):
+        return (
+            self._start[0] + self._velocity[0] * time,
+            self._start[1] + self._velocity[1] * time,
+        )
+
+
+def build(mobilities, scheme_factory, hello=None, world_side=10_000.0):
+    scheduler = Scheduler()
+    metrics = MetricsCollector()
+    network = Network(
+        scheduler=scheduler,
+        params=PhyParams(),
+        world=RectMap(world_side, world_side),
+        streams=RandomStreams(5),
+        num_hosts=len(mobilities),
+        scheme_factory=scheme_factory,
+        metrics=metrics,
+        max_speed_kmh=0.0,
+        hello_config=hello,
+        mobility_factory=lambda host_id: mobilities[host_id],
+    )
+    return scheduler, network, metrics
+
+
+def test_courier_convoy_bridges_partitions_only_while_aligned():
+    """Two static groups 1900 m apart; a convoy of three couriers (475 m
+    spacing, 50 m/s) completes the multihop chain only while its lead
+    courier sits in x ~ [1550, 1600].  A broadcast during that window
+    crosses the gap; one after it reaches only the local group."""
+    mobilities = [
+        StaticMobility((1000.0, 1000.0)),   # 0: source group
+        StaticMobility((1100.0, 1000.0)),   # 1
+        StaticMobility((3000.0, 1000.0)),   # 2: far group
+        StaticMobility((3100.0, 1000.0)),   # 3
+        LinearMobility((1300.0, 1000.0), (50.0, 0.0)),  # 4: convoy lead
+        LinearMobility((1775.0, 1000.0), (50.0, 0.0)),  # 5
+        LinearMobility((2250.0, 1000.0), (50.0, 0.0)),  # 6
+    ]
+    scheduler, network, metrics = build(mobilities, FloodingScheme)
+    network.start()
+    # t = 5.5: convoy at 1575/2050/2525 -- chain 1100-1575-2050-2525-3000
+    # with every hop <= 500 m: the whole network is reachable.
+    scheduler.schedule_at(5.5, network.initiate_broadcast, 0)
+    # t = 25: convoy at 2550/3025/3500 -- the source group is cut off.
+    scheduler.schedule_at(25.0, network.initiate_broadcast, 0)
+    scheduler.run(until=27.0)
+
+    bridged = metrics.records[(0, 1)]
+    assert bridged.reachable_count == 6
+    assert bridged.reachability == 1.0
+    assert 3 in bridged.received_times  # the far group heard it
+
+    cut_off = metrics.records[(0, 2)]
+    assert cut_off.reachable_count == 1
+    assert set(cut_off.received_times) == {1}
+
+
+def test_geometry_of_courier_reachability():
+    """Pin down the courier case precisely: reachable set matches the
+    unit-disk geometry at initiation time."""
+    mobilities = [
+        StaticMobility((1000.0, 1000.0)),
+        StaticMobility((1100.0, 1000.0)),
+        LinearMobility((1400.0, 1000.0), (50.0, 0.0)),
+    ]
+    scheduler, network, metrics = build(mobilities, FloodingScheme)
+    network.start()
+    # At t=2 the courier is at 1500: both neighbors within 500.
+    scheduler.schedule_at(2.0, network.initiate_broadcast, 0)
+    scheduler.run(until=4.0)
+    first = metrics.records[(0, 1)]
+    assert first.reachable_count == 2
+    assert first.reachability == 1.0
+    # At t=30 the courier is at 2900: out of everyone's range.
+    scheduler.schedule_at(30.0, network.initiate_broadcast, 0)
+    scheduler.run(until=32.0)
+    second = metrics.records[(0, 2)]
+    assert second.reachable_count == 1
+    assert set(second.received_times) == {1}
+
+
+def test_neighbor_tables_track_departing_host():
+    """NC's neighbor table drops a host that drives away (two missed
+    hellos) and its variation spikes accordingly."""
+    mobilities = [
+        StaticMobility((0.0, 0.0)),
+        LinearMobility((100.0, 0.0), (40.0, 0.0)),  # leaves range at t=10
+    ]
+    scheduler, network, metrics = build(
+        mobilities, NeighborCoverageScheme, hello=HelloConfig(interval=1.0)
+    )
+    network.start()
+    scheduler.run(until=5.0)
+    table = network.hosts[0].neighbor_table
+    assert table.neighbor_ids(now=5.0) == {1}
+    # Host 1 exits radio range (x > 500) at t = 10; after two missed
+    # hello intervals host 0 purges it.
+    scheduler.run(until=14.0)
+    assert table.neighbor_ids(now=14.0) == set()
+    assert table.variation(now=14.0) > 0.0
+
+
+def test_adaptive_counter_threshold_follows_density_change():
+    """A host that starts alone and gets surrounded switches from the
+    permissive to the aggressive end of C(n)."""
+    # Host 0 static; hosts 1..14 drive toward it and arrive around t~25.
+    mobilities = [StaticMobility((5000.0, 5000.0))]
+    for i in range(14):
+        angle_x = 5000.0 + 1500.0 + i * 10.0
+        mobilities.append(LinearMobility((angle_x, 5000.0), (-60.0, 0.0)))
+    scheduler, network, metrics = build(
+        mobilities, AdaptiveCounterScheme, hello=HelloConfig(interval=1.0)
+    )
+    network.start()
+    counts = {}
+    scheduler.schedule_at(5.0, lambda: counts.update(early=network.hosts[0].neighbor_count()))
+    # The drivers pass closest around t = 25 (1500 m at 60 m/s).
+    scheduler.schedule_at(25.0, lambda: counts.update(late=network.hosts[0].neighbor_count()))
+    scheduler.run(until=26.0)
+    assert counts["early"] <= 2
+    assert counts["late"] >= 10
+    scheme = network.hosts[0].scheme
+    # With >= 12 known neighbors the threshold sits at the aggressive
+    # floor C = 2, below what any mid-density neighborhood would get.
+    assert scheme.threshold_fn(counts["late"]) == 2
+    assert scheme.threshold_fn(4) > scheme.threshold_fn(counts["late"])

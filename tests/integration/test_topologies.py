@@ -1,0 +1,154 @@
+"""Full-stack integration on controlled topologies.
+
+These run the real engine end to end (channel, MAC, schemes, metrics) on
+networks whose correct outcomes are known by construction.
+"""
+
+import pytest
+
+from repro.experiments.topologies import (
+    build_static_network,
+    grid_positions,
+    line_positions,
+    star_positions,
+    two_clusters_positions,
+)
+from repro.net.host import HelloConfig
+from repro.schemes import (
+    AdaptiveCounterScheme,
+    CounterScheme,
+    FloodingScheme,
+    NeighborCoverageScheme,
+)
+from repro.sim.engine import Scheduler
+
+
+def run_broadcast(positions, scheme_factory, source=0, until=10.0,
+                  hello_config=None, start_at=1.0, **kwargs):
+    scheduler = Scheduler()
+    network, metrics = build_static_network(
+        scheduler, positions, scheme_factory, hello_config=hello_config,
+        **kwargs,
+    )
+    network.start()
+    if hello_config is not None:
+        start_at = max(start_at, 3.0 * hello_config.interval)
+    scheduler.schedule_at(start_at, network.initiate_broadcast, source)
+    scheduler.run(until=max(until, start_at + 5.0))
+    return network, metrics, next(iter(metrics.records.values()))
+
+
+class TestFloodingLine:
+    def test_multihop_relay_reaches_far_end(self):
+        """0-1-2-3-4 line, spacing 400 < 500: only flooding relays get the
+        packet to host 4."""
+        _, _, record = run_broadcast(line_positions(5, 400.0), FloodingScheme)
+        assert record.reachable_count == 4
+        assert record.reachability == 1.0
+
+    def test_every_receiver_rebroadcasts(self):
+        _, _, record = run_broadcast(line_positions(5, 400.0), FloodingScheme)
+        assert record.rebroadcast_count == 4
+        assert record.saved_rebroadcast == 0.0
+
+    def test_latency_increases_with_line_length(self):
+        _, _, short = run_broadcast(line_positions(3, 400.0), FloodingScheme)
+        _, _, long = run_broadcast(line_positions(10, 400.0), FloodingScheme)
+        assert long.latency() > short.latency()
+
+
+class TestPartition:
+    def test_unreachable_cluster_does_not_hurt_re(self):
+        """RE divides by the reachable set only (e counts the partition)."""
+        positions = two_clusters_positions(3, 100.0, gap=5000.0)
+        _, _, record = run_broadcast(positions, FloodingScheme, source=0)
+        assert record.reachable_count == 2
+        assert record.received_count == 2
+        assert record.reachability == 1.0
+
+    def test_isolated_source_re_undefined(self):
+        positions = [(0.0, 0.0), (5000.0, 0.0), (5400.0, 0.0)]
+        _, _, record = run_broadcast(positions, FloodingScheme, source=0)
+        assert record.reachable_count == 0
+        assert record.reachability is None
+
+
+class TestCounterCluster:
+    def test_dense_cluster_saves_rebroadcasts(self):
+        """7 hosts all in mutual range: with C=2 nearly everyone inhibits."""
+        positions = grid_positions(1, 7, 50.0)
+        _, _, record = run_broadcast(
+            positions, lambda: CounterScheme(threshold=2)
+        )
+        assert record.reachability == 1.0
+        # The first rebroadcast inhibits all other hosts.
+        assert record.rebroadcast_count <= 2
+        assert record.saved_rebroadcast >= 4 / 6
+
+    def test_high_threshold_floods(self):
+        positions = grid_positions(1, 5, 50.0)
+        _, _, record = run_broadcast(
+            positions, lambda: CounterScheme(threshold=6)
+        )
+        # c can reach at most 5 (one original + 4 rebroadcasts) but hosts
+        # transmit before hearing that many copies; all rebroadcast.
+        assert record.rebroadcast_count >= 3
+
+    def test_line_relay_not_broken_by_counter(self):
+        """On a sparse line each host hears few copies: C=2 still relays...
+        to the extent copies do not overlap; RE stays high."""
+        _, _, record = run_broadcast(
+            line_positions(5, 450.0), lambda: CounterScheme(threshold=2)
+        )
+        assert record.reachability == 1.0
+
+
+class TestStar:
+    def test_hub_relays_to_all_leaves(self):
+        positions = star_positions(6, 450.0)
+        _, _, record = run_broadcast(positions, FloodingScheme, source=1)
+        assert record.reachability == 1.0
+
+
+class TestNeighborCoverageLine:
+    def test_end_host_suppressed_middle_relays(self):
+        positions = line_positions(3, 400.0)
+        _, metrics, record = run_broadcast(
+            positions, NeighborCoverageScheme,
+            hello_config=HelloConfig(interval=1.0), until=15.0,
+        )
+        assert record.reachability == 1.0
+        # Host 1 must relay (host 2 uncovered); host 2 inhibits (its only
+        # neighbor 1 already has the packet).
+        assert record.rebroadcasters == {1}
+        assert record.saved_rebroadcast == pytest.approx(0.5)
+
+    def test_long_line_relays_all_intermediates(self):
+        positions = line_positions(6, 400.0)
+        _, _, record = run_broadcast(
+            positions, NeighborCoverageScheme,
+            hello_config=HelloConfig(interval=1.0), until=20.0,
+        )
+        assert record.reachability == 1.0
+        # Hosts 1..4 relay; host 5 (far end) inhibits.
+        assert record.rebroadcasters == {1, 2, 3, 4}
+
+
+class TestAdaptiveCounterTopology:
+    def test_sparse_line_forces_rebroadcast(self):
+        """With 1-2 neighbors, C(n) is high: the line relays fully."""
+        _, _, record = run_broadcast(
+            line_positions(6, 450.0), AdaptiveCounterScheme,
+            hello_config=HelloConfig(interval=1.0), until=20.0,
+        )
+        assert record.reachability == 1.0
+
+    def test_dense_cluster_uses_floor(self):
+        """With 14 neighbors each, C(n)=2: most rebroadcasts suppressed."""
+        positions = grid_positions(3, 5, 60.0)
+        _, _, record = run_broadcast(
+            positions, AdaptiveCounterScheme,
+            hello_config=HelloConfig(interval=1.0), until=20.0,
+        )
+        assert record.reachability == 1.0
+        assert record.saved_rebroadcast >= 0.5

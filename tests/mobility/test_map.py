@@ -1,0 +1,68 @@
+"""RectMap bounds, folding and construction."""
+
+import random
+
+import pytest
+
+from repro.mobility.map import RectMap, _fold
+
+
+def test_square_units_paper_sizes():
+    world = RectMap.square_units(5)
+    assert world.width == 2500.0
+    assert world.height == 2500.0
+    assert world.area == 2500.0 ** 2
+
+
+def test_square_units_custom_unit_length():
+    world = RectMap.square_units(3, unit_length=100.0)
+    assert world.width == 300.0
+
+
+def test_contains_boundaries_inclusive():
+    world = RectMap(10.0, 20.0)
+    assert world.contains((0.0, 0.0))
+    assert world.contains((10.0, 20.0))
+    assert not world.contains((10.01, 5.0))
+    assert not world.contains((-0.01, 5.0))
+
+
+def test_reflect_inside_point_unchanged():
+    world = RectMap(10.0, 10.0)
+    assert world.reflect((3.0, 7.0)) == (3.0, 7.0)
+
+
+def test_reflect_single_bounce():
+    world = RectMap(10.0, 10.0)
+    assert world.reflect((12.0, 5.0)) == (8.0, 5.0)
+    assert world.reflect((-2.0, 5.0)) == (2.0, 5.0)
+    assert world.reflect((5.0, 13.0)) == (5.0, 7.0)
+
+
+def test_reflect_multiple_bounces():
+    world = RectMap(10.0, 10.0)
+    # 25 -> fold period 20 -> 5; 10+3 -> 7 after one bounce from 23 - 20 = 3.
+    assert world.reflect((25.0, 0.0))[0] == pytest.approx(5.0)
+    assert world.reflect((23.0, 0.0))[0] == pytest.approx(3.0)
+    assert world.reflect((-13.0, 0.0))[0] == pytest.approx(7.0)
+
+
+def test_fold_stays_in_range():
+    for value in (-103.7, -1.0, 0.0, 9.99, 57.3, 1000.0):
+        folded = _fold(value, 10.0)
+        assert 0.0 <= folded <= 10.0
+
+
+def test_random_point_inside(rng):
+    world = RectMap(100.0, 50.0)
+    for _ in range(200):
+        assert world.contains(world.random_point(rng))
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ValueError):
+        RectMap(0.0, 10.0)
+    with pytest.raises(ValueError):
+        RectMap(10.0, -1.0)
+    with pytest.raises(ValueError):
+        RectMap.square_units(0)

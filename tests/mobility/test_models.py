@@ -1,0 +1,185 @@
+"""Mobility model invariants."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.points import distance
+from repro.mobility.map import RectMap
+from repro.mobility.models import (
+    RandomDirectionMobility,
+    RandomWaypointMobility,
+    StaticMobility,
+    kmh_to_ms,
+    make_mobility,
+)
+
+
+def test_kmh_to_ms():
+    assert kmh_to_ms(36.0) == pytest.approx(10.0)
+    assert kmh_to_ms(0.0) == 0.0
+
+
+def test_static_never_moves():
+    model = StaticMobility((3.0, 4.0))
+    assert model.position(0.0) == (3.0, 4.0)
+    assert model.position(1e6) == (3.0, 4.0)
+
+
+class TestRandomDirection:
+    def _model(self, seed=1, speed=50.0, world=None):
+        world = world or RectMap(1000.0, 1000.0)
+        return RandomDirectionMobility(
+            world, random.Random(seed), speed, start=(500.0, 500.0)
+        )
+
+    def test_position_at_zero_is_start(self):
+        assert self._model().position(0.0) == (500.0, 500.0)
+
+    def test_stays_inside_map(self):
+        world = RectMap(1000.0, 1000.0)
+        model = self._model(world=world, speed=120.0)
+        for i in range(2000):
+            assert world.contains(model.position(i * 1.7))
+
+    def test_speed_never_exceeds_max(self):
+        model = self._model(speed=50.0)
+        max_ms = kmh_to_ms(50.0)
+        prev = model.position(0.0)
+        dt = 0.25
+        for i in range(1, 3000):
+            current = model.position(i * dt)
+            # Reflection can only shorten apparent displacement.
+            assert distance(prev, current) <= max_ms * dt + 1e-9
+            prev = current
+
+    def test_deterministic_given_seed(self):
+        a = self._model(seed=9)
+        b = self._model(seed=9)
+        for i in range(100):
+            assert a.position(i * 3.0) == b.position(i * 3.0)
+
+    def test_different_seeds_diverge(self):
+        a = self._model(seed=1)
+        b = self._model(seed=2)
+        positions_a = [a.position(i * 10.0) for i in range(20)]
+        positions_b = [b.position(i * 10.0) for i in range(20)]
+        assert positions_a != positions_b
+
+
+    def test_zero_speed_host_stays_put(self):
+        model = self._model(speed=0.0)
+        assert model.position(500.0) == (500.0, 500.0)
+
+    def test_non_monotonic_query_raises(self):
+        model = self._model()
+        model.position(500.0)
+        with pytest.raises(ValueError):
+            model.position(1.0)
+
+    def test_query_within_current_segment_ok(self):
+        """Same-segment re-queries (same event time) must not raise."""
+        model = self._model()
+        p1 = model.position(0.5)
+        p2 = model.position(0.5)
+        assert p1 == p2
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            self._model().position(-1.0)
+
+    def test_start_outside_map_rejected(self):
+        world = RectMap(10.0, 10.0)
+        with pytest.raises(ValueError):
+            RandomDirectionMobility(world, random.Random(0), 10.0, start=(50.0, 5.0))
+
+    def test_turn_durations_respected(self):
+        """With a fixed duration range, segment rolls happen on schedule."""
+        world = RectMap(1e6, 1e6)
+        model = RandomDirectionMobility(
+            world,
+            random.Random(3),
+            36.0,
+            start=(5e5, 5e5),
+            turn_duration_range=(10.0, 10.0),
+        )
+        # Velocity is constant within [0, 10); displacement is linear.
+        p0 = model.position(0.0)
+        p5 = model.position(5.0)
+        p9 = model.position(9.0)
+        v1 = ((p5[0] - p0[0]) / 5.0, (p5[1] - p0[1]) / 5.0)
+        v2 = ((p9[0] - p5[0]) / 4.0, (p9[1] - p5[1]) / 4.0)
+        assert v1 == pytest.approx(v2)
+
+    def test_invalid_params(self):
+        world = RectMap(10.0, 10.0)
+        with pytest.raises(ValueError):
+            RandomDirectionMobility(world, random.Random(0), -5.0)
+        with pytest.raises(ValueError):
+            RandomDirectionMobility(
+                world, random.Random(0), 5.0, turn_duration_range=(0.0, 10.0)
+            )
+
+
+class TestRandomWaypoint:
+    def _model(self, seed=1, pause=0.0):
+        world = RectMap(1000.0, 1000.0)
+        return RandomWaypointMobility(
+            world, random.Random(seed), 50.0, start=(500.0, 500.0),
+            pause_time=pause,
+        )
+
+    def test_stays_inside_map(self):
+        model = self._model()
+        world = RectMap(1000.0, 1000.0)
+        for i in range(1000):
+            assert world.contains(model.position(i * 2.0))
+
+    def test_pause_produces_stationary_periods(self):
+        model = self._model(seed=4, pause=30.0)
+        positions = [model.position(i * 0.5) for i in range(4000)]
+        stationary = sum(
+            1 for a, b in zip(positions, positions[1:]) if a == b
+        )
+        assert stationary > 0
+
+    def test_speed_bounds_validated(self):
+        world = RectMap(10.0, 10.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(world, random.Random(0), 0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(
+                world, random.Random(0), 10.0, min_speed_kmh=20.0
+            )
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(
+                world, random.Random(0), 10.0, pause_time=-1.0
+            )
+
+
+class TestFactory:
+    def test_known_names(self):
+        world = RectMap(100.0, 100.0)
+        rng = random.Random(0)
+        assert isinstance(
+            make_mobility("random-direction", world, rng, 10.0),
+            RandomDirectionMobility,
+        )
+        assert isinstance(
+            make_mobility("random-waypoint", world, rng, 10.0),
+            RandomWaypointMobility,
+        )
+        assert isinstance(
+            make_mobility("static", world, rng, 10.0), StaticMobility
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_mobility("teleport", RectMap(1, 1), random.Random(0), 1.0)
+
+    def test_static_with_explicit_start(self):
+        model = make_mobility(
+            "static", RectMap(10, 10), random.Random(0), 0.0, start=(1.0, 2.0)
+        )
+        assert model.position(100.0) == (1.0, 2.0)

@@ -1,0 +1,61 @@
+"""Duplicate-broadcast cache."""
+
+import pytest
+
+from repro.net.dupcache import DuplicateCache
+
+
+def test_new_key_added():
+    cache = DuplicateCache()
+    assert cache.add((1, 1)) is True
+    assert (1, 1) in cache
+
+
+def test_duplicate_detected():
+    cache = DuplicateCache()
+    cache.add((1, 1))
+    assert cache.add((1, 1)) is False
+
+
+def test_distinct_sources_distinct_keys():
+    cache = DuplicateCache()
+    assert cache.add((1, 5))
+    assert cache.add((2, 5))
+    assert cache.add((1, 6))
+    assert len(cache) == 3
+
+
+def test_check_and_add_alias():
+    cache = DuplicateCache()
+    assert cache.check_and_add("k") is True
+    assert cache.check_and_add("k") is False
+
+
+def test_capacity_evicts_oldest():
+    cache = DuplicateCache(capacity=2)
+    cache.add("a")
+    cache.add("b")
+    cache.add("c")
+    assert "a" not in cache
+    assert "b" in cache and "c" in cache
+    assert len(cache) == 2
+
+
+def test_unbounded_by_default():
+    cache = DuplicateCache()
+    for i in range(10000):
+        cache.add(i)
+    assert len(cache) == 10000
+
+
+def test_clear():
+    cache = DuplicateCache()
+    cache.add("x")
+    cache.clear()
+    assert "x" not in cache
+    assert len(cache) == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        DuplicateCache(capacity=0)

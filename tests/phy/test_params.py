@@ -1,0 +1,62 @@
+"""DSSS timing parameters and airtime arithmetic."""
+
+import pytest
+
+from repro.phy.params import PhyParams
+
+
+def test_paper_defaults():
+    params = PhyParams()
+    assert params.radio_radius == 500.0
+    assert params.bitrate == 1_000_000.0
+    assert params.slot_time == pytest.approx(20e-6)
+    assert params.sifs == pytest.approx(10e-6)
+    assert params.difs == pytest.approx(50e-6)
+    assert params.cw_min == 31
+    assert params.cw_max == 1023
+    assert params.broadcast_payload_bytes == 280
+
+
+def test_plcp_overhead():
+    params = PhyParams()
+    assert params.plcp_overhead == pytest.approx(192e-6)
+
+
+def test_broadcast_airtime_paper_value():
+    """280 bytes at 1 Mbit/s + 192 us PLCP = 2.432 ms."""
+    assert PhyParams().broadcast_airtime == pytest.approx(2432e-6)
+
+
+def test_airtime_scales_with_payload():
+    params = PhyParams()
+    assert params.airtime(0) == pytest.approx(params.plcp_overhead)
+    assert params.airtime(125) == pytest.approx(192e-6 + 1000e-6)
+
+
+def test_hello_airtime_smaller_than_broadcast():
+    params = PhyParams()
+    assert params.hello_airtime < params.broadcast_airtime
+
+
+def test_airtime_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        PhyParams().airtime(-1)
+
+
+def test_frozen():
+    params = PhyParams()
+    with pytest.raises(AttributeError):
+        params.bitrate = 2e6  # type: ignore[misc]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PhyParams(radio_radius=0.0)
+    with pytest.raises(ValueError):
+        PhyParams(bitrate=-1.0)
+    with pytest.raises(ValueError):
+        PhyParams(slot_time=0.0)
+    with pytest.raises(ValueError):
+        PhyParams(cw_min=0)
+    with pytest.raises(ValueError):
+        PhyParams(cw_min=100, cw_max=50)

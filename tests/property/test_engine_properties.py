@@ -1,0 +1,58 @@
+"""Property-based tests: scheduler ordering and determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Scheduler
+
+
+@settings(max_examples=50)
+@given(
+    delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
+)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    scheduler = Scheduler()
+    fired = []
+    for delay in delays:
+        scheduler.schedule(delay, lambda: fired.append(scheduler.now))
+    scheduler.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(max_examples=50)
+@given(
+    delays=st.lists(
+        st.tuples(st.floats(0.0, 100.0), st.integers(-5, 5)),
+        min_size=1, max_size=40,
+    )
+)
+def test_total_order_time_then_priority_then_fifo(delays):
+    scheduler = Scheduler()
+    fired = []
+    for index, (delay, priority) in enumerate(delays):
+        scheduler.schedule(
+            delay, fired.append, (delay, priority, index), priority=priority
+        )
+    scheduler.run()
+    assert fired == sorted(fired)
+
+
+@settings(max_examples=25)
+@given(
+    delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=30),
+    cancel_indices=st.sets(st.integers(0, 29)),
+)
+def test_cancelled_subset_never_fires(delays, cancel_indices):
+    scheduler = Scheduler()
+    fired = []
+    events = [
+        scheduler.schedule(delay, fired.append, i)
+        for i, delay in enumerate(delays)
+    ]
+    for index in cancel_indices:
+        if index < len(events):
+            events[index].cancel()
+    scheduler.run()
+    surviving = {i for i in range(len(delays))} - cancel_indices
+    assert set(fired) == surviving

@@ -1,0 +1,58 @@
+"""Property-based tests: geometry invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.circles import (
+    additional_coverage_fraction,
+    lens_area,
+)
+from repro.geometry.coverage import DiskSampler
+
+radii = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(r=radii, t=st.floats(min_value=0.0, max_value=2.5))
+def test_lens_area_bounded_by_disk(r, t):
+    area = lens_area(r, t * r)
+    assert 0.0 <= area <= math.pi * r * r + 1e-9
+
+
+@given(r=radii, t1=st.floats(0.0, 2.5), t2=st.floats(0.0, 2.5))
+def test_lens_area_monotone_in_distance(r, t1, t2):
+    lo, hi = sorted((t1, t2))
+    assert lens_area(r, lo * r) >= lens_area(r, hi * r) - 1e-9
+
+
+@given(r=radii, t=st.floats(0.0, 3.0))
+def test_additional_coverage_fraction_unit_interval(r, t):
+    frac = additional_coverage_fraction(t * r, r)
+    assert 0.0 <= frac <= 1.0
+
+
+@given(t=st.floats(0.0, 2.0))
+def test_lens_plus_additional_equals_disk(t):
+    """INTC(d) + additional coverage = pi r^2 for d <= 2r."""
+    total = lens_area(1.0, t) + additional_coverage_fraction(t) * math.pi
+    assert math.isclose(total, math.pi, rel_tol=1e-9)
+
+
+@settings(max_examples=30)
+@given(
+    centers=st.lists(
+        st.tuples(st.floats(-2.0, 2.0), st.floats(-2.0, 2.0)),
+        min_size=0,
+        max_size=6,
+    )
+)
+def test_uncovered_fraction_unit_interval_and_monotone(centers):
+    sampler = DiskSampler(128)
+    previous = 1.0
+    for k in range(len(centers) + 1):
+        frac = sampler.uncovered_fraction((0.0, 0.0), 1.0, centers[:k], 1.0)
+        assert 0.0 <= frac <= 1.0
+        assert frac <= previous + 1e-12  # adding covers never uncovers
+        previous = frac

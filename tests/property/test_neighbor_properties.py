@@ -1,0 +1,66 @@
+"""Property-based tests: neighbor-table protocol invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.neighbors import NeighborTable
+from repro.net.packets import HelloPacket
+
+events = st.lists(
+    st.tuples(
+        st.integers(1, 6),                   # sender id
+        st.floats(0.05, 2.0),                # time gap to previous event
+        st.one_of(st.none(), st.floats(0.5, 10.0)),  # announced interval
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60)
+@given(hellos=events, default_interval=st.floats(0.5, 5.0))
+def test_table_invariants_under_random_hello_streams(hellos, default_interval):
+    table = NeighborTable(default_interval=default_interval)
+    now = 0.0
+    last_heard = {}
+    for sender, gap, interval in hellos:
+        now += gap
+        table.update_from_hello(
+            HelloPacket(sender_id=sender, hello_interval=interval), now=now
+        )
+        last_heard[sender] = (now, interval or default_interval)
+
+        # Invariant 1: a just-heard neighbor is always present.
+        assert sender in table.neighbor_ids(now)
+        # Invariant 2: every listed neighbor is within its timeout.
+        for neighbor in table.neighbor_ids(now):
+            heard_at, announced = last_heard[neighbor]
+            assert now - heard_at <= 2.0 * announced + 1e-9
+        # Invariant 3: variation is non-negative and finite.
+        nv = table.variation(now)
+        assert nv >= 0.0
+        assert nv < float("inf")
+
+
+@settings(max_examples=40)
+@given(
+    hellos=events,
+    check_after=st.floats(0.0, 50.0),
+)
+def test_purge_is_exactly_the_timeout_rule(hellos, check_after):
+    default_interval = 1.0
+    table = NeighborTable(default_interval=default_interval)
+    now = 0.0
+    last = {}
+    for sender, gap, interval in hellos:
+        now += gap
+        table.update_from_hello(
+            HelloPacket(sender_id=sender, hello_interval=interval), now=now
+        )
+        last[sender] = (now, interval or default_interval)
+    final = now + check_after
+    alive = table.neighbor_ids(final)
+    for sender, (heard_at, announced) in last.items():
+        expected_alive = final - heard_at <= 2.0 * announced
+        assert (sender in alive) == expected_alive, (
+            sender, final - heard_at, announced,
+        )

@@ -1,0 +1,71 @@
+"""Property-based tests: route-table invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.table import RouteTable
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("update"),
+            st.integers(0, 5),    # dest
+            st.integers(0, 5),    # next hop
+            st.integers(1, 10),   # hop count
+        ),
+        st.tuples(st.just("invalidate"), st.integers(0, 5)),
+        st.tuples(st.just("invalidate_via"), st.integers(0, 5)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60)
+@given(ops=operations, lifetime=st.floats(0.5, 20.0))
+def test_route_table_invariants(ops, lifetime):
+    """After any operation sequence: live entries are within lifetime,
+    lookups agree with updates, and hop counts never increased silently."""
+    table = RouteTable(lifetime=lifetime)
+    now = 0.0
+    best_hops = {}
+    for op in ops:
+        now += 0.1
+        if op[0] == "update":
+            _, dest, nxt, hops = op
+            table.update(dest, next_hop=nxt, hop_count=hops, now=now)
+            previous = best_hops.get(dest)
+            entry = table.lookup(dest, now)
+            assert entry is not None
+            # Live better route never replaced by a worse one.
+            if previous is not None and previous[1] > now:
+                assert entry.hop_count <= previous[0]
+            best_hops[dest] = (entry.hop_count, entry.expires_at)
+        elif op[0] == "invalidate":
+            table.invalidate(op[1])
+            best_hops.pop(op[1], None)
+        else:
+            table.invalidate_via(op[1])
+            best_hops = {
+                d: v for d, v in best_hops.items()
+                if (e := table.lookup(d, now)) is not None
+            }
+        # Global invariant: every live entry expires in the future.
+        for dest, entry in table.known_destinations(now).items():
+            assert entry.expires_at > now
+            assert entry.dest_id == dest
+
+
+@settings(max_examples=30)
+@given(
+    dest=st.integers(0, 3),
+    hops=st.integers(1, 5),
+    gap=st.floats(0.0, 40.0),
+)
+def test_expiry_is_exact(dest, hops, gap):
+    table = RouteTable(lifetime=10.0)
+    table.update(dest, next_hop=9, hop_count=hops, now=0.0)
+    entry = table.lookup(dest, now=gap)
+    if gap < 10.0:
+        assert entry is not None
+    else:
+        assert entry is None

@@ -1,0 +1,91 @@
+"""Property-based tests: scheme decision invariants.
+
+Each scheme, fed an arbitrary interleaving of packet copies, must
+(a) rebroadcast a given packet at most once, (b) never both transmit and
+record an inhibit for the same packet, and (c) always resolve every packet
+to exactly one decision once the jitter runs out.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schemes import (
+    AdaptiveCounterScheme,
+    AdaptiveLocationScheme,
+    CounterScheme,
+    DistanceScheme,
+    FloodingScheme,
+    LocationScheme,
+    NeighborCoverageScheme,
+)
+
+from tests.schemes.harness import FakeHost, make_packet
+
+positions = st.tuples(
+    st.floats(-500.0, 500.0), st.floats(-500.0, 500.0)
+)
+
+
+def scheme_factories():
+    return st.sampled_from(
+        [
+            FloodingScheme,
+            lambda: CounterScheme(threshold=2),
+            lambda: CounterScheme(threshold=4),
+            lambda: DistanceScheme(threshold=125.0),
+            lambda: LocationScheme(threshold=0.0469),
+            AdaptiveCounterScheme,
+            AdaptiveLocationScheme,
+            NeighborCoverageScheme,
+        ]
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    factory=scheme_factories(),
+    neighbors=st.integers(0, 20),
+    copies=st.lists(
+        st.tuples(st.integers(2, 8), positions), min_size=0, max_size=10
+    ),
+)
+def test_exactly_one_decision_per_packet(factory, neighbors, copies):
+    host = FakeHost(factory(), neighbors=neighbors, position=(0.0, 0.0))
+    packet = make_packet(source=99, tx_id=99, tx_position=(250.0, 0.0))
+    host.hear_first(packet)
+    for sender_id, sender_position in copies:
+        host.hear_again(packet, sender_id=sender_id,
+                        sender_position=sender_position)
+    host.run_jitter()
+    for handle in host.submitted:
+        if not handle.cancelled:
+            handle.force_transmit()
+
+    transmissions = len(host.transmitted)
+    inhibits = host.inhibited.count(packet.key)
+    # Exactly one terminal decision, never both.
+    assert (transmissions, inhibits) in {(1, 0), (0, 1)}
+    assert host.scheme.pending_count() == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    factory=scheme_factories(),
+    n_packets=st.integers(1, 5),
+    neighbors=st.integers(0, 15),
+)
+def test_at_most_one_rebroadcast_per_distinct_packet(factory, n_packets, neighbors):
+    host = FakeHost(factory(), neighbors=neighbors)
+    packets = [
+        make_packet(source=s, seq=1, tx_position=(300.0, 0.0))
+        for s in range(n_packets)
+    ]
+    for packet in packets:
+        host.hear_first(packet)
+        host.hear_again(packet)
+    host.run_jitter()
+    for handle in host.submitted:
+        if not handle.cancelled:
+            handle.force_transmit()
+    keys = [p.key for p in host.transmitted]
+    assert len(keys) == len(set(keys))

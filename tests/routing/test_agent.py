@@ -1,0 +1,171 @@
+"""Routing agent integration on controlled topologies."""
+
+import pytest
+
+from repro.experiments.topologies import (
+    build_static_network,
+    line_positions,
+    two_clusters_positions,
+)
+from repro.routing import attach_agents
+from repro.schemes import FloodingScheme, NeighborCoverageScheme
+from repro.net.host import HelloConfig
+from repro.sim.engine import Scheduler
+
+
+def build_line(n=5, spacing=400.0, scheme=FloodingScheme, hello=None,
+               **agent_kwargs):
+    scheduler = Scheduler()
+    network, metrics = build_static_network(
+        scheduler, line_positions(n, spacing), scheme, hello_config=hello,
+    )
+    agents = attach_agents(network, **agent_kwargs)
+    network.start()
+    return scheduler, network, agents
+
+
+class TestDiscoveryAndDelivery:
+    def test_end_to_end_delivery_on_line(self):
+        scheduler, network, agents = build_line()
+        outcomes = []
+        scheduler.schedule_at(
+            1.0, agents[0].send_data, 4, "payload", outcomes.append
+        )
+        scheduler.run(until=5.0)
+        assert outcomes == [True]
+        assert agents[4].stats.data_delivered == 1
+        assert agents[4].received[0].payload == "payload"
+        assert agents[4].received[0].origin_id == 0
+
+    def test_forward_routes_installed_along_path(self):
+        scheduler, network, agents = build_line()
+        scheduler.schedule_at(1.0, agents[0].send_data, 4, None)
+        scheduler.run(until=5.0)
+        # Every host on the path knows a route to 4 after the RREP.
+        for host_id in (0, 1, 2, 3):
+            entry = agents[host_id].table.lookup(4, scheduler.now)
+            assert entry is not None
+            assert entry.next_hop == host_id + 1
+
+    def test_reverse_routes_learned_from_rreq(self):
+        scheduler, network, agents = build_line()
+        scheduler.schedule_at(1.0, agents[0].send_data, 4, None)
+        scheduler.run(until=5.0)
+        # Host 3 heard the RREQ via 2: reverse next hop toward 0 is 2.
+        assert agents[3].table.lookup(0, scheduler.now).next_hop == 2
+
+    def test_hop_counts_match_line_distance(self):
+        scheduler, network, agents = build_line()
+        scheduler.schedule_at(1.0, agents[0].send_data, 4, None)
+        scheduler.run(until=5.0)
+        assert agents[0].table.lookup(4, scheduler.now).hop_count == 4
+
+    def test_intermediates_forward_data(self):
+        scheduler, network, agents = build_line()
+        scheduler.schedule_at(1.0, agents[0].send_data, 4, None)
+        scheduler.run(until=5.0)
+        for host_id in (1, 2, 3):
+            assert agents[host_id].stats.data_forwarded == 1
+
+    def test_second_send_reuses_route_without_new_rreq(self):
+        scheduler, network, agents = build_line()
+        scheduler.schedule_at(1.0, agents[0].send_data, 4, None)
+        scheduler.schedule_at(3.0, agents[0].send_data, 4, None)
+        scheduler.run(until=6.0)
+        assert agents[0].stats.rreqs_originated == 1
+        assert agents[4].stats.data_delivered == 2
+
+    def test_multiple_packets_queued_during_discovery(self):
+        scheduler, network, agents = build_line()
+
+        def burst():
+            agents[0].send_data(4, "a")
+            agents[0].send_data(4, "b")
+            agents[0].send_data(4, "c")
+
+        scheduler.schedule_at(1.0, burst)
+        scheduler.run(until=6.0)
+        assert agents[0].stats.rreqs_originated == 1  # one discovery
+        assert agents[4].stats.data_delivered == 3
+        assert [p.payload for p in agents[4].received] == ["a", "b", "c"]
+
+
+class TestDiscoveryFailure:
+    def test_unreachable_destination_fails_after_retries(self):
+        scheduler = Scheduler()
+        positions = two_clusters_positions(2, 100.0, gap=5000.0)
+        network, _ = build_static_network(scheduler, positions, FloodingScheme)
+        agents = attach_agents(
+            network, discovery_timeout=0.5, max_discovery_attempts=2
+        )
+        network.start()
+        outcomes = []
+        scheduler.schedule_at(1.0, agents[0].send_data, 3, None, outcomes.append)
+        scheduler.run(until=5.0)
+        assert outcomes == [False]
+        assert agents[0].stats.rreqs_originated == 2
+        assert agents[0].stats.discovery_failures == 1
+        assert agents[0].stats.data_failed == 1
+
+    def test_send_to_self_rejected(self):
+        scheduler, network, agents = build_line(n=2)
+        with pytest.raises(ValueError):
+            agents[0].send_data(0)
+
+
+class TestRouteMaintenance:
+    def test_broken_next_hop_invalidates_routes(self):
+        scheduler, network, agents = build_line()
+        scheduler.schedule_at(1.0, agents[0].send_data, 4, None)
+        # Break the chain: host 2 goes offline after the route is built.
+        scheduler.schedule_at(4.0, network.channel.detach, 2)
+        outcomes = []
+        scheduler.schedule_at(5.0, agents[0].send_data, 4, "late", outcomes.append)
+        scheduler.run(until=8.0)
+        # Host 1 could not reach 2: per-hop failure recorded, route dropped.
+        assert agents[1].stats.forward_failures >= 1
+        assert agents[1].table.lookup(4, scheduler.now) is None
+        # The second payload never arrived.
+        assert agents[4].stats.data_delivered == 1
+
+    def test_route_expiry_triggers_rediscovery(self):
+        scheduler, network, agents = build_line(route_lifetime=2.0)
+        scheduler.schedule_at(1.0, agents[0].send_data, 4, None)
+        # Well past the 2 s lifetime: routes are gone, a new RREQ is needed.
+        scheduler.schedule_at(8.0, agents[0].send_data, 4, None)
+        scheduler.run(until=12.0)
+        assert agents[0].stats.rreqs_originated == 2
+        assert agents[4].stats.data_delivered == 2
+
+
+class TestWithSuppressionScheme:
+    def test_discovery_through_neighbor_coverage(self):
+        """Route discovery works when RREQs propagate via NC, which
+        suppresses the redundant rebroadcasts."""
+        scheduler, network, agents = build_line(
+            n=6, scheme=NeighborCoverageScheme,
+            hello=HelloConfig(interval=1.0),
+        )
+        outcomes = []
+        scheduler.schedule_at(4.0, agents[0].send_data, 5, "x", outcomes.append)
+        scheduler.run(until=10.0)
+        assert outcomes == [True]
+        assert agents[5].stats.data_delivered == 1
+
+
+def test_double_agent_attachment_rejected():
+    scheduler, network, agents = build_line(n=2)
+    from repro.routing import RoutingAgent
+
+    with pytest.raises(RuntimeError):
+        RoutingAgent(network.hosts[0])
+
+
+def test_agent_parameter_validation():
+    scheduler, network, agents = build_line(n=2)
+    from repro.routing import RoutingAgent
+
+    with pytest.raises(ValueError):
+        attach_agents_bad = RoutingAgent(
+            network.hosts[1], discovery_timeout=0.0
+        )

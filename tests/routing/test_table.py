@@ -1,0 +1,89 @@
+"""Route table semantics."""
+
+import pytest
+
+from repro.routing.table import RouteTable
+
+
+def test_update_and_lookup():
+    table = RouteTable(lifetime=10.0)
+    assert table.update(5, next_hop=2, hop_count=3, now=0.0)
+    entry = table.lookup(5, now=1.0)
+    assert entry.next_hop == 2
+    assert entry.hop_count == 3
+
+
+def test_expiry():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=3, now=0.0)
+    assert table.lookup(5, now=9.9) is not None
+    assert table.lookup(5, now=10.0) is None
+    assert len(table) == 0  # expired entries are purged
+
+
+def test_shorter_route_wins():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=3, now=0.0)
+    assert table.update(5, next_hop=7, hop_count=2, now=1.0)
+    assert table.lookup(5, now=1.0).next_hop == 7
+
+
+def test_longer_route_rejected_while_live():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=2, now=0.0)
+    assert not table.update(5, next_hop=7, hop_count=4, now=1.0)
+    assert table.lookup(5, now=1.0).next_hop == 2
+
+
+def test_longer_route_accepted_after_expiry():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=2, now=0.0)
+    assert table.update(5, next_hop=7, hop_count=9, now=20.0)
+    assert table.lookup(5, now=20.0).next_hop == 7
+
+
+def test_equal_route_refreshes_lifetime():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=2, now=0.0)
+    table.update(5, next_hop=2, hop_count=2, now=8.0)
+    assert table.lookup(5, now=15.0) is not None
+
+
+def test_refresh():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=2, now=0.0)
+    table.refresh(5, now=9.0)
+    assert table.lookup(5, now=15.0) is not None
+
+
+def test_invalidate():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=2, now=0.0)
+    assert table.invalidate(5)
+    assert not table.invalidate(5)
+    assert table.lookup(5, now=0.1) is None
+
+
+def test_invalidate_via_broken_next_hop():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=2, now=0.0)
+    table.update(6, next_hop=2, hop_count=3, now=0.0)
+    table.update(7, next_hop=3, hop_count=1, now=0.0)
+    assert table.invalidate_via(2) == 2
+    assert table.lookup(7, now=0.1) is not None
+
+
+def test_known_destinations_purges():
+    table = RouteTable(lifetime=10.0)
+    table.update(5, next_hop=2, hop_count=2, now=0.0)
+    table.update(6, next_hop=3, hop_count=2, now=5.0)
+    live = table.known_destinations(now=12.0)
+    assert set(live) == {6}
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RouteTable(lifetime=0.0)
+    table = RouteTable()
+    with pytest.raises(ValueError):
+        table.update(1, next_hop=2, hop_count=0, now=0.0)

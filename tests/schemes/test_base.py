@@ -1,0 +1,115 @@
+"""The shared S1-S5 skeleton (via the counter scheme as a concrete case)."""
+
+import pytest
+
+from repro.schemes import CounterScheme, make_scheme, SCHEME_REGISTRY
+
+from tests.schemes.harness import FakeHost, make_packet
+
+
+def test_on_originate_submits_unconditionally():
+    host = FakeHost(CounterScheme(threshold=2), host_id=0)
+    packet = make_packet(source=0)
+    host.scheme.on_originate(packet)
+    assert len(host.submitted) == 1
+
+
+def test_first_hear_schedules_submit_after_jitter():
+    host = FakeHost(CounterScheme(threshold=3), jitter=10)
+    host.hear_first(make_packet())
+    assert host.submitted == []  # still in the S2 jitter wait
+    host.run_jitter()
+    assert len(host.submitted) == 1
+    # Jitter was 10 slots.
+    assert host.scheduler.now == pytest.approx(10 * host.slot_time)
+
+
+def test_transmit_finalizes_decision():
+    host = FakeHost(CounterScheme(threshold=2))
+    packet = make_packet()
+    host.hear_first(packet)
+    host.run_jitter()
+    host.submitted[0].force_transmit()
+    assert host.scheme.pending_count() == 0
+    # Hearing again after transmission is a no-op (S5 future inhibition).
+    host.hear_again(packet)
+    assert host.inhibited == []
+
+
+def test_hear_again_without_first_hear_ignored():
+    host = FakeHost(CounterScheme(threshold=2))
+    host.hear_again(make_packet())
+    assert host.submitted == []
+    assert host.inhibited == []
+
+
+def test_cancel_during_jitter_wait():
+    host = FakeHost(CounterScheme(threshold=2), jitter=31)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.hear_again(packet)  # c=2 >= C=2 -> cancel the scheduled submit
+    host.run_jitter()
+    assert host.submitted == []
+    assert host.inhibited == [packet.key]
+    assert host.scheme.pending_count() == 0
+
+
+def test_cancel_while_queued_at_mac():
+    host = FakeHost(CounterScheme(threshold=2), jitter=0)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+    host.hear_again(packet)  # threshold reached while MAC-queued
+    assert host.submitted[0].cancelled
+    assert host.inhibited == [packet.key]
+
+
+def test_cancel_too_late_after_air(capsys):
+    host = FakeHost(CounterScheme(threshold=2), jitter=0)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.run_jitter()
+    host.submitted[0].force_transmit()
+    host.hear_again(packet)  # too late: already on the air
+    assert host.inhibited == []
+
+
+def test_relayed_copy_submitted_not_original():
+    host = FakeHost(CounterScheme(threshold=5), host_id=42, jitter=0)
+    packet = make_packet(source=7, tx_id=7)
+    host.hear_first(packet)
+    host.run_jitter()
+    relayed = host.submitted[0].packet
+    assert relayed.tx_id == 42
+    assert relayed.hops == 1
+    assert relayed.key == packet.key
+
+
+def test_independent_packets_tracked_separately():
+    host = FakeHost(CounterScheme(threshold=2), jitter=31)
+    p1, p2 = make_packet(seq=1), make_packet(seq=2)
+    host.hear_first(p1)
+    host.hear_first(p2)
+    assert host.scheme.pending_count() == 2
+    host.hear_again(p1)  # only p1 inhibited
+    assert host.inhibited == [p1.key]
+    host.run_jitter()
+    assert [h.packet.key for h in host.submitted] == [p2.key]
+
+
+def test_registry_contains_all_schemes():
+    assert set(SCHEME_REGISTRY) == {
+        "flooding", "counter", "distance", "location",
+        "adaptive-counter", "adaptive-location", "neighbor-coverage",
+    }
+
+
+def test_make_scheme_passes_params():
+    scheme = make_scheme("counter", threshold=5)
+    assert scheme.threshold == 5
+
+
+def test_make_scheme_unknown_name():
+    with pytest.raises(ValueError, match="unknown scheme"):
+        make_scheme("telepathy")

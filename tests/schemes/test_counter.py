@@ -1,0 +1,75 @@
+"""Fixed-threshold counter scheme (S1/S4 counting semantics)."""
+
+import pytest
+
+from repro.schemes import CounterScheme
+
+from tests.schemes.harness import FakeHost, make_packet
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        CounterScheme(threshold=1)
+    with pytest.raises(ValueError):
+        CounterScheme(threshold=0)
+
+
+def test_describe():
+    assert CounterScheme(threshold=4).describe() == "C=4"
+
+
+def test_counter_initialized_to_one():
+    host = FakeHost(CounterScheme(threshold=3), jitter=31)
+    packet = make_packet()
+    host.hear_first(packet)
+    state = host.scheme._pending[packet.key]
+    assert state.assessment == [1]
+
+
+def test_rebroadcasts_when_heard_fewer_than_threshold_times():
+    host = FakeHost(CounterScheme(threshold=3), jitter=31)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.hear_again(packet)  # c = 2 < 3: still going
+    host.run_jitter()
+    assert len(host.submitted) == 1
+    assert host.inhibited == []
+
+
+def test_inhibits_at_exactly_threshold():
+    host = FakeHost(CounterScheme(threshold=3), jitter=31)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.hear_again(packet)  # c = 2
+    host.hear_again(packet)  # c = 3 -> inhibit
+    host.run_jitter()
+    assert host.submitted == []
+    assert host.inhibited == [packet.key]
+
+
+def test_threshold_two_inhibits_on_second_copy():
+    host = FakeHost(CounterScheme(threshold=2), jitter=31)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.hear_again(packet)
+    assert host.inhibited == [packet.key]
+
+
+def test_large_threshold_behaves_like_flooding():
+    host = FakeHost(CounterScheme(threshold=10), jitter=0)
+    packet = make_packet()
+    host.hear_first(packet)
+    for _ in range(8):
+        host.hear_again(packet)  # c = 9 < 10
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_sender_identity_irrelevant_to_counter():
+    """The counter counts copies, regardless of which neighbor sent them."""
+    host = FakeHost(CounterScheme(threshold=3), jitter=31)
+    packet = make_packet()
+    host.hear_first(packet, sender_id=10)
+    host.hear_again(packet, sender_id=10)  # same sender twice still counts
+    host.hear_again(packet, sender_id=10)
+    assert host.inhibited == [packet.key]

@@ -1,0 +1,63 @@
+"""Distance-based scheme (from [15])."""
+
+import pytest
+
+from repro.schemes import DistanceScheme
+
+from tests.schemes.harness import FakeHost, make_packet
+
+
+def test_validation_and_describe():
+    with pytest.raises(ValueError):
+        DistanceScheme(threshold=-1.0)
+    assert DistanceScheme(threshold=125.0).describe() == "D=125m"
+
+
+def test_close_sender_inhibits_immediately():
+    host = FakeHost(DistanceScheme(threshold=125.0), position=(0.0, 0.0))
+    packet = make_packet(tx_position=(50.0, 0.0))  # d = 50 < 125
+    host.hear_first(packet)
+    assert host.inhibited == [packet.key]
+    assert host.scheme.pending_count() == 0
+
+
+def test_far_sender_allows_rebroadcast():
+    host = FakeHost(DistanceScheme(threshold=125.0), position=(0.0, 0.0))
+    packet = make_packet(tx_position=(400.0, 0.0))
+    host.hear_first(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_dmin_tracks_closest_transmitter():
+    host = FakeHost(DistanceScheme(threshold=125.0), position=(0.0, 0.0), jitter=31)
+    packet = make_packet(tx_position=(400.0, 0.0))
+    host.hear_first(packet)
+    # Another copy from a closer host drops d_min below the threshold.
+    host.hear_again(packet, sender_id=5, sender_position=(100.0, 0.0))
+    assert host.inhibited == [packet.key]
+
+
+def test_farther_second_copy_does_not_inhibit():
+    host = FakeHost(DistanceScheme(threshold=125.0), position=(0.0, 0.0), jitter=31)
+    packet = make_packet(tx_position=(200.0, 0.0))
+    host.hear_first(packet)
+    host.hear_again(packet, sender_id=5, sender_position=(490.0, 0.0))
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_boundary_distance_equal_threshold_rebroadcasts():
+    """Inhibition requires d_min strictly below D."""
+    host = FakeHost(DistanceScheme(threshold=125.0), position=(0.0, 0.0))
+    packet = make_packet(tx_position=(125.0, 0.0))
+    host.hear_first(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_missing_position_treated_as_zero_distance():
+    host = FakeHost(DistanceScheme(threshold=125.0))
+    packet = make_packet(tx_position=None)
+    host.hear_first(packet)
+    assert host.inhibited == [packet.key]

@@ -1,0 +1,41 @@
+"""Flooding scheme."""
+
+from repro.schemes import FloodingScheme
+
+from tests.schemes.harness import FakeHost, make_packet
+
+
+def test_always_rebroadcasts():
+    host = FakeHost(FloodingScheme())
+    packet = make_packet()
+    host.hear_first(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+    assert host.inhibited == []
+
+
+def test_no_scheme_level_jitter():
+    host = FakeHost(FloodingScheme())
+    host.hear_first(make_packet())
+    host.run_jitter()
+    assert host.scheduler.now == 0.0  # submitted at once
+
+
+def test_duplicates_never_inhibit():
+    host = FakeHost(FloodingScheme())
+    packet = make_packet()
+    host.hear_first(packet)
+    for _ in range(10):
+        host.hear_again(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+    assert host.inhibited == []
+
+
+def test_rebroadcasts_each_distinct_packet():
+    host = FakeHost(FloodingScheme())
+    host.hear_first(make_packet(seq=1))
+    host.hear_first(make_packet(seq=2))
+    host.hear_first(make_packet(source=9, seq=1))
+    host.run_jitter()
+    assert len(host.submitted) == 3

@@ -1,0 +1,71 @@
+"""Location-based scheme: additional-coverage assessment."""
+
+import pytest
+
+from repro.schemes import LocationScheme
+
+from tests.schemes.harness import FakeHost, make_packet
+
+
+def test_validation_and_describe():
+    with pytest.raises(ValueError):
+        LocationScheme(threshold=-0.1)
+    with pytest.raises(ValueError):
+        LocationScheme(threshold=1.5)
+    assert LocationScheme(threshold=0.0469).describe() == "A=0.0469"
+
+
+def test_coincident_sender_covers_everything():
+    """A sender at the same position leaves ac = 0 < any positive A."""
+    host = FakeHost(LocationScheme(threshold=0.01), position=(100.0, 100.0))
+    packet = make_packet(tx_position=(100.0, 100.0))
+    host.hear_first(packet)
+    assert host.inhibited == [packet.key]
+
+
+def test_distant_sender_leaves_large_ac():
+    """Sender at distance r leaves ~61% uncovered: rebroadcast."""
+    host = FakeHost(LocationScheme(threshold=0.1871), position=(0.0, 0.0), radius=500.0)
+    packet = make_packet(tx_position=(500.0, 0.0))
+    host.hear_first(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_accumulating_senders_erode_coverage():
+    host = FakeHost(
+        LocationScheme(threshold=0.30), position=(0.0, 0.0), radius=500.0, jitter=31
+    )
+    packet = make_packet(tx_position=(450.0, 0.0))
+    host.hear_first(packet)
+    assert host.scheme.pending_count() == 1  # ac ~ 0.66 > 0.30
+    host.hear_again(packet, sender_position=(-450.0, 0.0))
+    host.hear_again(packet, sender_position=(0.0, 450.0))
+    host.hear_again(packet, sender_position=(0.0, -450.0))
+    # Four senders around the rim leave only the center & edge slivers.
+    assert host.inhibited == [packet.key]
+
+
+def test_ac_value_matches_closed_form():
+    host = FakeHost(LocationScheme(threshold=0.0), position=(0.0, 0.0), radius=500.0)
+    packet = make_packet(tx_position=(500.0, 0.0))
+    host.hear_first(packet)
+    state = host.scheme._pending[packet.key]
+    assert state.assessment.ac == pytest.approx(0.609, abs=0.03)
+
+
+def test_sender_without_position_ignored():
+    host = FakeHost(LocationScheme(threshold=0.5), position=(0.0, 0.0))
+    packet = make_packet(tx_position=None)
+    host.hear_first(packet)
+    # No position info: ac stays 1.0, rebroadcast proceeds.
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_zero_threshold_never_inhibits():
+    host = FakeHost(LocationScheme(threshold=0.0), position=(0.0, 0.0))
+    packet = make_packet(tx_position=(0.0, 0.0))
+    host.hear_first(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1

@@ -1,0 +1,132 @@
+"""Neighbor-coverage scheme: pending-set semantics."""
+
+from repro.schemes import NeighborCoverageScheme
+
+from tests.schemes.harness import FakeHost, make_packet
+
+
+def build_host(**kwargs):
+    return FakeHost(NeighborCoverageScheme(), jitter=31, **kwargs)
+
+
+def test_needs_two_hop_hello():
+    assert NeighborCoverageScheme.needs_hello is True
+    assert NeighborCoverageScheme.needs_two_hop_hello is True
+    assert NeighborCoverageScheme.needs_position is False
+
+
+def test_no_uncovered_neighbors_inhibits_immediately():
+    """T = N_x - N_{x,h} - {h} empty at S1."""
+    host = build_host()
+    host.learn_neighbor(5, two_hop={1, 6})
+    host.learn_neighbor(6, two_hop={1, 5})
+    packet = make_packet(source=5, tx_id=5)
+    # Sender 5 announced {1, 6}: everything x knows is covered.
+    host.hear_first(packet, sender_id=5)
+    assert host.inhibited == [packet.key]
+    assert host.submitted == []
+
+
+def test_uncovered_neighbor_triggers_rebroadcast():
+    host = build_host()
+    host.learn_neighbor(5, two_hop={1})
+    host.learn_neighbor(7, two_hop={1})  # 7 not covered by 5's set
+    packet = make_packet(source=5, tx_id=5)
+    host.hear_first(packet, sender_id=5)
+    assert host.scheme.pending_count() == 1
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_pending_set_shrinks_with_each_copy():
+    host = build_host()
+    host.learn_neighbor(5, two_hop={1})
+    host.learn_neighbor(6, two_hop={1})
+    host.learn_neighbor(7, two_hop={1})
+    packet = make_packet(source=5, tx_id=5)
+    host.hear_first(packet, sender_id=5)  # T = {6, 7}
+    state = host.scheme._pending[packet.key]
+    assert state.assessment == {6, 7}
+    host.hear_again(packet, sender_id=6)  # 6 covered: T = {7}
+    assert state.assessment == {7}
+    host.hear_again(packet, sender_id=7)  # T empty -> inhibit
+    assert host.inhibited == [packet.key]
+
+
+def test_senders_two_hop_set_counts_as_covered():
+    host = build_host()
+    host.learn_neighbor(5, two_hop={1})
+    host.learn_neighbor(6, two_hop={1})
+    host.learn_neighbor(7, two_hop={1})
+    packet = make_packet(source=5, tx_id=5)
+    host.hear_first(packet, sender_id=5)  # T = {6, 7}
+    # A copy from host 9 (not even a neighbor) announcing {6, 7}:
+    host.learn_neighbor(9, two_hop={6, 7})
+    host.hear_again(packet, sender_id=9)
+    assert host.inhibited == [packet.key]
+
+
+def test_isolated_host_inhibits():
+    """No known neighbors: nothing to cover, so no rebroadcast."""
+    host = build_host()
+    packet = make_packet(source=5, tx_id=5)
+    host.hear_first(packet, sender_id=5)
+    assert host.inhibited == [packet.key]
+
+
+def test_unknown_sender_still_subtracted():
+    """The sender itself is covered even if x has no table entry for it."""
+    host = build_host()
+    host.learn_neighbor(5)  # no two-hop info announced
+    packet = make_packet(source=5, tx_id=5)
+    host.hear_first(packet, sender_id=5)
+    # T = {5} - {} - {5} = empty.
+    assert host.inhibited == [packet.key]
+
+
+def test_line_topology_end_host_inhibits():
+    """Middle host of a 0-1-2 line relays; the far end does not."""
+    # Perspective of host 2 (end of line): N_2 = {1}, N_{2,1} = {0, 2}.
+    host = build_host(host_id=2)
+    host.learn_neighbor(1, two_hop={0, 2})
+    packet = make_packet(source=0, tx_id=1, hops=1)
+    host.hear_first(packet, sender_id=1)
+    assert host.inhibited == [packet.key]
+
+
+def test_describe():
+    assert NeighborCoverageScheme().describe() == "NC"
+    assert NeighborCoverageScheme(oracle=True).describe() == "NC(oracle)"
+
+
+class _OracleChannel:
+    """Stub geometric oracle: fixed neighbor map."""
+
+    def __init__(self, neighbor_map):
+        self._map = neighbor_map
+
+    def neighbors_in_range(self, host_id):
+        return list(self._map.get(host_id, ()))
+
+
+def test_oracle_mode_uses_channel_truth():
+    host = build_host()
+    host.channel = _OracleChannel({1: [5, 7], 5: [1, 7]})
+    host.host_id = 1
+    host.scheme.oracle = True
+    packet = make_packet(source=5, tx_id=5)
+    # Oracle truth: N_1 = {5, 7}; sender 5 covers {1, 7}.
+    # T = {5, 7} - {1, 7} - {5} = {} -> inhibit.
+    host.hear_first(packet, sender_id=5)
+    assert host.inhibited == [packet.key]
+
+
+def test_oracle_mode_rebroadcasts_for_uncovered_neighbor():
+    host = build_host()
+    host.channel = _OracleChannel({1: [5, 9], 5: [1]})
+    host.host_id = 1
+    host.scheme.oracle = True
+    packet = make_packet(source=5, tx_id=5)
+    # T = {5, 9} - {1} - {5} = {9}: rebroadcast.
+    host.hear_first(packet, sender_id=5)
+    assert host.scheme.pending_count() == 1

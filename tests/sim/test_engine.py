@@ -1,0 +1,181 @@
+"""Scheduler and Event behaviour."""
+
+import pytest
+
+from repro.sim.engine import Scheduler, SimulationError
+
+
+def test_clock_starts_at_zero(scheduler):
+    assert scheduler.now == 0.0
+
+
+def test_events_run_in_time_order(scheduler):
+    fired = []
+    scheduler.schedule(2.0, fired.append, "b")
+    scheduler.schedule(1.0, fired.append, "a")
+    scheduler.schedule(3.0, fired.append, "c")
+    scheduler.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time(scheduler):
+    seen = []
+    scheduler.schedule(1.5, lambda: seen.append(scheduler.now))
+    scheduler.run()
+    assert seen == [1.5]
+    assert scheduler.now == 1.5
+
+
+def test_same_time_events_fifo(scheduler):
+    fired = []
+    for i in range(10):
+        scheduler.schedule(1.0, fired.append, i)
+    scheduler.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_ties(scheduler):
+    fired = []
+    scheduler.schedule(1.0, fired.append, "low-priority", priority=5)
+    scheduler.schedule(1.0, fired.append, "high-priority", priority=-5)
+    scheduler.run()
+    assert fired == ["high-priority", "low-priority"]
+
+
+def test_schedule_at_absolute_time(scheduler):
+    fired = []
+    scheduler.schedule_at(4.0, fired.append, "x")
+    scheduler.run()
+    assert scheduler.now == 4.0
+    assert fired == ["x"]
+
+
+def test_scheduling_in_past_raises(scheduler):
+    scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SimulationError):
+        scheduler.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises(scheduler):
+    with pytest.raises(SimulationError):
+        scheduler.schedule(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(scheduler):
+    fired = []
+    event = scheduler.schedule(1.0, fired.append, "cancelled")
+    scheduler.schedule(2.0, fired.append, "kept")
+    event.cancel()
+    scheduler.run()
+    assert fired == ["kept"]
+
+
+def test_cancel_is_idempotent(scheduler):
+    event = scheduler.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    scheduler.run()
+    assert scheduler.events_processed == 0
+
+
+def test_events_scheduled_during_run_execute(scheduler):
+    fired = []
+
+    def first():
+        fired.append("first")
+        scheduler.schedule(1.0, fired.append, "second")
+
+    scheduler.schedule(1.0, first)
+    scheduler.run()
+    assert fired == ["first", "second"]
+    assert scheduler.now == 2.0
+
+
+def test_zero_delay_event_fires_at_current_time(scheduler):
+    fired = []
+
+    def outer():
+        scheduler.schedule(0.0, fired.append, scheduler.now)
+
+    scheduler.schedule(1.0, outer)
+    scheduler.run()
+    assert fired == [1.0]
+
+
+def test_run_until_stops_before_later_events(scheduler):
+    fired = []
+    scheduler.schedule(1.0, fired.append, "early")
+    scheduler.schedule(10.0, fired.append, "late")
+    scheduler.run(until=5.0)
+    assert fired == ["early"]
+    assert scheduler.now == 5.0
+
+
+def test_run_until_includes_events_at_boundary(scheduler):
+    fired = []
+    scheduler.schedule(5.0, fired.append, "boundary")
+    scheduler.run(until=5.0)
+    assert fired == ["boundary"]
+
+
+def test_run_until_can_continue(scheduler):
+    fired = []
+    scheduler.schedule(10.0, fired.append, "late")
+    scheduler.run(until=5.0)
+    scheduler.run()
+    assert fired == ["late"]
+
+
+def test_events_processed_counter(scheduler):
+    for i in range(5):
+        scheduler.schedule(float(i + 1), lambda: None)
+    scheduler.run()
+    assert scheduler.events_processed == 5
+
+
+def test_step_runs_single_event(scheduler):
+    fired = []
+    scheduler.schedule(1.0, fired.append, 1)
+    scheduler.schedule(2.0, fired.append, 2)
+    assert scheduler.step() is True
+    assert fired == [1]
+    assert scheduler.step() is True
+    assert fired == [1, 2]
+    assert scheduler.step() is False
+
+
+def test_step_skips_cancelled(scheduler):
+    event = scheduler.schedule(1.0, lambda: None)
+    event.cancel()
+    assert scheduler.step() is False
+
+
+def test_peek_time(scheduler):
+    assert scheduler.peek_time() is None
+    event = scheduler.schedule(3.0, lambda: None)
+    scheduler.schedule(7.0, lambda: None)
+    assert scheduler.peek_time() == 3.0
+    event.cancel()
+    assert scheduler.peek_time() == 7.0
+
+
+def test_event_args_passed_through(scheduler):
+    seen = []
+    scheduler.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "two")
+    scheduler.run()
+    assert seen == [(1, "two")]
+
+
+def test_reentrant_run_rejected(scheduler):
+    def nested():
+        scheduler.run()
+
+    scheduler.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        scheduler.run()
+
+
+def test_run_until_advances_clock_with_empty_queue(scheduler):
+    scheduler.run(until=42.0)
+    assert scheduler.now == 42.0

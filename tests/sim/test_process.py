@@ -1,0 +1,167 @@
+"""Generator-based process/signal layer."""
+
+import pytest
+
+from repro.sim.engine import Scheduler, SimulationError
+from repro.sim.process import Process, Signal, Timeout, WaitSignal
+
+
+def test_timeout_suspends_for_delay(scheduler):
+    times = []
+
+    def body():
+        times.append(scheduler.now)
+        yield Timeout(2.5)
+        times.append(scheduler.now)
+
+    Process(scheduler, body())
+    scheduler.run()
+    assert times == [0.0, 2.5]
+
+
+def test_process_result_captured(scheduler):
+    def body():
+        yield Timeout(1.0)
+        return "done"
+
+    process = Process(scheduler, body())
+    scheduler.run()
+    assert process.finished
+    assert process.result == "done"
+
+
+def test_signal_wakes_waiter_with_value(scheduler):
+    received = []
+
+    def listener(sig):
+        value = yield WaitSignal(sig)
+        received.append((scheduler.now, value))
+
+    def emitter(sig):
+        yield Timeout(3.0)
+        sig.emit("payload")
+
+    sig = Signal("test")
+    Process(scheduler, listener(sig))
+    Process(scheduler, emitter(sig))
+    scheduler.run()
+    assert received == [(3.0, "payload")]
+
+
+def test_signal_wakes_all_waiters_in_order(scheduler):
+    order = []
+
+    def listener(sig, name):
+        yield WaitSignal(sig)
+        order.append(name)
+
+    sig = Signal()
+    for name in ("a", "b", "c"):
+        Process(scheduler, listener(sig, name))
+
+    def emitter():
+        yield Timeout(1.0)
+        count = sig.emit()
+        # emit() returns synchronously; waiters resume via zero-delay
+        # events after the current event finishes.
+        order.append(count)
+
+    Process(scheduler, emitter())
+    scheduler.run()
+    assert order == [3, "a", "b", "c"]
+
+
+def test_emit_with_no_waiters_returns_zero():
+    assert Signal().emit("x") == 0
+
+
+def test_waiter_rearmed_during_emit_sees_only_next_emit(scheduler):
+    hits = []
+
+    def listener(sig):
+        yield WaitSignal(sig)
+        hits.append("first")
+        yield WaitSignal(sig)
+        hits.append("second")
+
+    sig = Signal()
+    Process(scheduler, listener(sig))
+
+    def emitter():
+        yield Timeout(1.0)
+        sig.emit()
+        yield Timeout(1.0)
+        sig.emit()
+
+    Process(scheduler, emitter())
+    scheduler.run()
+    assert hits == ["first", "second"]
+
+
+def test_interrupt_stops_process(scheduler):
+    progress = []
+
+    def body():
+        progress.append("started")
+        yield Timeout(10.0)
+        progress.append("never")
+
+    process = Process(scheduler, body())
+    scheduler.schedule(1.0, process.interrupt)
+    scheduler.run()
+    assert progress == ["started"]
+    assert process.finished
+
+
+def test_interrupt_removes_signal_waiter(scheduler):
+    sig = Signal()
+
+    def body():
+        yield WaitSignal(sig)
+
+    process = Process(scheduler, body())
+    scheduler.schedule(1.0, process.interrupt)
+    scheduler.schedule(2.0, sig.emit)
+    scheduler.run()
+    assert process.finished
+
+
+def test_invalid_yield_raises(scheduler):
+    def body():
+        yield "not-a-condition"
+
+    Process(scheduler, body())
+    with pytest.raises(SimulationError):
+        scheduler.run()
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1.0)
+
+
+def test_two_processes_ping_pong(scheduler):
+    log = []
+    ping, pong = Signal("ping"), Signal("pong")
+
+    def player_a():
+        for _ in range(3):
+            yield Timeout(1.0)
+            log.append(("a", scheduler.now))
+            ping.emit()
+            yield WaitSignal(pong)
+
+    def player_b():
+        for _ in range(3):
+            yield WaitSignal(ping)
+            log.append(("b", scheduler.now))
+            pong.emit()
+
+    Process(scheduler, player_a())
+    Process(scheduler, player_b())
+    scheduler.run()
+    assert log == [
+        ("a", 1.0), ("b", 1.0),
+        ("a", 2.0), ("b", 2.0),
+        ("a", 3.0), ("b", 3.0),
+    ]

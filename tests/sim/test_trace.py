@@ -1,0 +1,42 @@
+"""Tracer behaviour."""
+
+from repro.sim.trace import NullTracer, RecordingTracer
+
+
+def test_null_tracer_discards():
+    tracer = NullTracer()
+    tracer.emit(1.0, "anything", foo=1)  # must not raise
+
+
+def test_recording_tracer_keeps_records():
+    tracer = RecordingTracer()
+    tracer.emit(1.0, "tx", host=3)
+    tracer.emit(2.0, "rx", host=4)
+    assert len(tracer.records) == 2
+    assert tracer.records[0].time == 1.0
+    assert tracer.records[0].category == "tx"
+    assert tracer.records[0].fields == {"host": 3}
+
+
+def test_filter_by_category():
+    tracer = RecordingTracer()
+    tracer.emit(1.0, "tx", host=1)
+    tracer.emit(2.0, "rx", host=1)
+    tracer.emit(3.0, "tx", host=2)
+    assert [r.time for r in tracer.filter("tx")] == [1.0, 3.0]
+
+
+def test_filter_by_fields():
+    tracer = RecordingTracer()
+    tracer.emit(1.0, "tx", host=1)
+    tracer.emit(2.0, "tx", host=2)
+    assert [r.time for r in tracer.filter("tx", host=2)] == [2.0]
+
+
+def test_count_and_clear():
+    tracer = RecordingTracer()
+    tracer.emit(1.0, "tx")
+    tracer.emit(2.0, "tx")
+    assert tracer.count("tx") == 2
+    tracer.clear()
+    assert tracer.count() == 0

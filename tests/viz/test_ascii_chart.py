@@ -1,0 +1,87 @@
+"""ASCII charts."""
+
+import math
+
+import pytest
+
+from repro.viz.ascii_chart import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_monotone_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_mid_level(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_nan_renders_as_space(self):
+        assert sparkline([1.0, math.nan, 2.0])[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart(["a", "bb"], [1.0, 0.5], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "long-label"], [1.0, 1.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_nan_value(self):
+        chart = bar_chart(["a"], [math.nan])
+        assert "nan" in chart
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_explicit_max(self):
+        chart = bar_chart(["a"], [0.5], width=10, max_value=1.0)
+        assert chart.count("#") == 5
+
+
+class TestLineChart:
+    def test_contains_marks_and_legend(self):
+        chart = line_chart(
+            {"one": [(1, 0.5), (9, 0.9)], "two": [(1, 0.2), (9, 0.1)]},
+            width=30, height=8, title="demo",
+        )
+        assert "demo" in chart
+        assert "o one" in chart
+        assert "x two" in chart
+        assert chart.count("o") >= 2  # two plotted points (legend adds one)
+
+    def test_y_range_override(self):
+        chart = line_chart({"s": [(0, 0.5)]}, y_range=(0.0, 1.0))
+        assert "1.000" in chart and "0.000" in chart
+
+    def test_extremes_land_on_borders(self):
+        chart = line_chart({"s": [(0, 0.0), (10, 1.0)]}, width=20, height=5)
+        body = [l for l in chart.splitlines() if l.startswith(" " * 9 + "|")]
+        assert body[0].rstrip().endswith("o")  # top-right: the maximum
+        assert body[-1][10] == "o"  # bottom-left: the minimum
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": [(0, math.nan)]})
+
+    def test_nan_points_skipped(self):
+        chart = line_chart({"s": [(0, 0.1), (1, math.nan), (2, 0.9)]})
+        assert "s" in chart
