@@ -18,6 +18,9 @@ The package is organized bottom-up:
   counter/distance/location thresholds, and the paper's contributions
   (adaptive counter, adaptive location, neighbor coverage).
 - :mod:`repro.metrics` -- RE / SRB / latency collection.
+- :mod:`repro.faults` -- fault injection: host crash/recover churn,
+  bursty (Gilbert-Elliott) link loss, HELLO suppression, and the
+  graceful-degradation metrics that go with them.
 - :mod:`repro.experiments` -- scenario builders and runners for every
   figure in the paper's evaluation.
 
@@ -33,6 +36,7 @@ Quickstart::
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import SimulationResult, run_broadcast_simulation
+from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.collector import BroadcastRecord, MetricsCollector
 from repro.schemes import SCHEME_REGISTRY, make_scheme
 
@@ -44,6 +48,8 @@ __all__ = [
     "run_broadcast_simulation",
     "BroadcastRecord",
     "MetricsCollector",
+    "FaultPlan",
+    "FaultInjector",
     "SCHEME_REGISTRY",
     "make_scheme",
     "__version__",

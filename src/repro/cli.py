@@ -58,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--location-threshold", type=float, default=None)
     run_p.add_argument("--hello-interval", type=float, default=1.0)
     run_p.add_argument("--dynamic-hello", action="store_true")
+    run_p.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault plan: ';'-separated clauses "
+        "(crash:host=3,at=5,recover=12 / mute:host=1,at=2,until=8 / "
+        "churn:rate=0.01,downtime=5 / loss:p=0.1 / "
+        "ge:p=0.05,r=0.5,bad=0.8), or @plan.json",
+    )
+    run_p.add_argument(
+        "--fault-windows", action="store_true",
+        help="with --faults: also print per-fault-window RE/SRB",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument(
@@ -118,6 +129,15 @@ def _run_single(args: argparse.Namespace) -> int:
     if args.location_threshold is not None:
         params["threshold"] = args.location_threshold
     hello = HelloConfig(interval=args.hello_interval, dynamic=args.dynamic_hello)
+    faults = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan
+
+        try:
+            faults = FaultPlan.parse(args.faults)
+        except (ValueError, OSError) as exc:
+            print(f"error: invalid --faults spec: {exc}", file=sys.stderr)
+            return 2
     config = ScenarioConfig(
         scheme=args.scheme,
         scheme_params=params,
@@ -127,9 +147,22 @@ def _run_single(args: argparse.Namespace) -> int:
         max_speed_kmh=args.speed,
         hello=hello,
         seed=args.seed,
+        faults=faults,
     )
     result = run_broadcast_simulation(config)
     print(result.summary())
+    if getattr(args, "fault_windows", False) and result.fault_trace:
+        print("\nfault trace:")
+        for event in result.fault_trace:
+            print(f"  t={event.time:9.3f}  {event.kind:<12} host {event.host_id}")
+        print("\nper-fault-window RE/SRB:")
+        for window in result.metrics.fault_window_summary(result.end_time):
+            row = window.row()
+            print(
+                f"  [{row['start']:9.3f}, {row['end']:9.3f})  "
+                f"RE={row['re']:.3f}  SRB={row['srb']:.3f}  "
+                f"broadcasts={window.broadcasts}"
+            )
     return 0
 
 

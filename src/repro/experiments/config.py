@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
+from repro.faults.plan import FaultPlan
 from repro.net.host import HelloConfig
 from repro.phy.capture import CaptureModel
 from repro.phy.params import PhyParams
@@ -50,6 +51,10 @@ class ScenarioConfig:
     #: Optional capture-effect model (None = the paper's no-capture
     #: assumption; see repro.phy.capture).
     capture: Optional[CaptureModel] = None
+    #: Optional fault schedule (host churn, link loss, HELLO suppression);
+    #: executed by a FaultInjector drawing from the "faults" substream so
+    #: mobility traces stay identical with faults on or off.
+    faults: Optional[FaultPlan] = None
     phy: PhyParams = field(default_factory=PhyParams)
     seed: int = 1
     warmup: Optional[float] = None  # None -> derived from hello settings

@@ -3,11 +3,16 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.experiments.config import ScenarioConfig
-from repro.metrics.collector import MetricsCollector, SimulationSummary
+from repro.faults.injector import FaultInjector
+from repro.metrics.collector import (
+    FaultEventRecord,
+    MetricsCollector,
+    SimulationSummary,
+)
 from repro.mobility.map import RectMap
 from repro.net.network import Network
 from repro.phy.channel import ChannelStats
@@ -30,6 +35,10 @@ class SimulationResult:
     events_processed: int
     #: Total MAC backoff procedures across all hosts (contention proxy).
     backoffs_started: int = 0
+    #: Executed fault events, in order (empty without a fault plan).
+    fault_trace: List[FaultEventRecord] = field(default_factory=list)
+    #: Broadcast requests skipped because the drawn source was down.
+    broadcasts_skipped: int = 0
 
     @property
     def re(self) -> float:
@@ -56,11 +65,17 @@ class SimulationResult:
 
     def summary(self) -> str:
         """One-line human-readable result."""
-        return (
+        line = (
             f"{self.config.label()}: RE={self.re:.3f} SRB={self.srb:.3f} "
             f"latency={self.latency * 1000:.1f}ms "
             f"broadcasts={self.stats.broadcasts} hellos={self.hellos}"
         )
+        if self.fault_trace or self.broadcasts_skipped:
+            line += (
+                f" faults={len(self.fault_trace)}"
+                f" skipped={self.broadcasts_skipped}"
+            )
+        return line
 
 
 def run_broadcast_simulation(
@@ -108,12 +123,34 @@ def run_broadcast_simulation(
     warmup = config.resolved_warmup(hello_enabled)
     traffic_rng = streams.stream("traffic")
 
+    def initiate(source_id: int) -> None:
+        # With faults enabled the drawn source may be down; skip the request
+        # (the draw itself already happened, so traffic timing is identical
+        # across schemes and across fault plans).
+        if not network.hosts[source_id].alive:
+            metrics.on_broadcast_skipped(source_id, scheduler.now)
+            return
+        network.initiate_broadcast(source_id)
+
     t = warmup
     for _ in range(config.num_broadcasts):
         t += traffic_rng.uniform(0.0, config.interarrival_max)
         source = traffic_rng.randrange(config.num_hosts)
-        scheduler.schedule_at(t, network.initiate_broadcast, source)
+        scheduler.schedule_at(t, initiate, source)
     end_time = t + config.drain
+
+    injector = None
+    if config.faults is not None and not config.faults.is_empty():
+        # Faults draw exclusively from a forked substream: mobility / MAC /
+        # scheme streams see the same sequences with faults on or off.
+        injector = FaultInjector(
+            scheduler,
+            network,
+            config.faults,
+            streams.fork("faults"),
+            horizon=end_time,
+        )
+        injector.install()
 
     scheduler.run(until=end_time)
 
@@ -127,6 +164,8 @@ def run_broadcast_simulation(
         backoffs_started=sum(
             host.mac.stats.backoffs_started for host in network.hosts
         ),
+        fault_trace=list(injector.trace) if injector is not None else [],
+        broadcasts_skipped=metrics.broadcasts_skipped,
     )
 
 

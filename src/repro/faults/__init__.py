@@ -1,0 +1,49 @@
+"""Fault injection: host churn, bursty link loss, HELLO suppression.
+
+- :mod:`repro.faults.plan` -- the declarative, serializable
+  :class:`~repro.faults.plan.FaultPlan` (what goes wrong, and when).
+- :mod:`repro.faults.loss` -- Bernoulli and Gilbert-Elliott link-loss
+  processes composable with the channel's ``drop_predicate``.
+- :mod:`repro.faults.injector` -- the
+  :class:`~repro.faults.injector.FaultInjector` that executes a plan
+  against a live network from a dedicated RNG substream.
+
+All fault randomness draws from its own substream, so enabling faults never
+perturbs mobility traces, MAC backoffs or scheme jitter -- two schemes under
+the same seed still see identical worlds.
+"""
+
+from repro.faults.loss import BernoulliLoss, GilbertElliottLoss, make_loss_model
+from repro.faults.plan import (
+    BernoulliLossSpec,
+    ChurnProcess,
+    CrashFault,
+    FaultPlan,
+    GilbertElliottLossSpec,
+    MuteHelloFault,
+)
+
+
+def __getattr__(name: str):
+    # FaultInjector is loaded lazily (PEP 562): the injector module imports
+    # the network/metrics layers, which themselves import low-level modules
+    # like repro.faults.plan -- an eager import here would close that cycle
+    # during package initialization.
+    if name == "FaultInjector":
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "FaultPlan",
+    "CrashFault",
+    "MuteHelloFault",
+    "ChurnProcess",
+    "BernoulliLossSpec",
+    "GilbertElliottLossSpec",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "make_loss_model",
+    "FaultInjector",
+]

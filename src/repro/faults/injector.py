@@ -1,0 +1,133 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` against a live network.
+
+The injector is a simulation process: :meth:`FaultInjector.install`
+schedules every explicit event, expands the churn process into concrete
+crash/recover pairs using the dedicated fault RNG substream (so mobility,
+MAC and scheme streams are untouched and stay identical across schemes),
+and composes the plan's link-loss model onto the channel's existing
+``drop_predicate``.  Every executed event is appended to ``trace`` -- with a
+fixed seed the trace is byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.faults.loss import make_loss_model
+from repro.faults.plan import FaultPlan
+from repro.metrics.collector import FaultEventRecord
+from repro.net.network import Network
+from repro.sim.engine import Scheduler
+from repro.sim.randomness import RandomStreams
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules and executes the fault events of one simulation run."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        network: Network,
+        plan: FaultPlan,
+        streams: RandomStreams,
+        horizon: Optional[float] = None,
+    ) -> None:
+        """``streams`` must be a fault-dedicated stream factory (the runner
+        passes ``master_streams.fork("faults")``); ``horizon`` bounds churn
+        expansion (defaults to the churn process's own ``stop``)."""
+        self._scheduler = scheduler
+        self._network = network
+        self.plan = plan
+        self._streams = streams
+        self._horizon = horizon
+        self.loss_model = None
+        #: Executed fault events, in execution order.
+        self.trace: List[FaultEventRecord] = []
+
+    # ------------------------------------------------------------- setup
+
+    def install(self) -> None:
+        """Schedule the plan's events and arm the loss model."""
+        if self.plan.loss is not None:
+            self.loss_model = make_loss_model(
+                self.plan.loss, self._streams.fork("loss")
+            )
+            channel = self._network.channel
+            base = channel.drop_predicate
+            loss = self.loss_model
+            if base is None:
+                channel.drop_predicate = loss.should_drop
+            else:
+                channel.drop_predicate = (
+                    lambda s, r: base(s, r) or loss.should_drop(s, r)
+                )
+        for crash in self.plan.crashes:
+            self._scheduler.schedule_at(crash.time, self._crash, crash.host_id)
+            if crash.recover_at is not None:
+                self._scheduler.schedule_at(
+                    crash.recover_at, self._recover, crash.host_id
+                )
+        for mute in self.plan.mutes:
+            self._scheduler.schedule_at(
+                mute.time, self._mute, mute.host_id, mute.until
+            )
+        if self.plan.churn is not None and self.plan.churn.rate > 0.0:
+            self._expand_churn()
+
+    def _expand_churn(self) -> None:
+        """Turn the churn process into concrete crash/recover pairs.
+
+        All draws happen here, eagerly and in host-id order, so the churn
+        trace depends only on the fault substream -- not on anything the
+        simulation does later.
+        """
+        churn = self.plan.churn
+        stop = churn.stop
+        if math.isinf(stop):
+            if self._horizon is None:
+                raise ValueError(
+                    "unbounded churn process needs an explicit horizon"
+                )
+            stop = self._horizon
+        rng = self._streams.stream("churn")
+        for host in self._network.hosts:
+            t = churn.start
+            while True:
+                t += rng.expovariate(churn.rate)
+                if t >= stop:
+                    break
+                self._scheduler.schedule_at(t, self._crash, host.host_id)
+                recover_at = t + churn.downtime
+                self._scheduler.schedule_at(
+                    recover_at, self._recover, host.host_id
+                )
+                t = recover_at
+
+    # ----------------------------------------------------------- execution
+
+    def _record(self, kind: str, host_id: int) -> None:
+        entry = FaultEventRecord(self._scheduler.now, kind, host_id)
+        self.trace.append(entry)
+
+    def _crash(self, host_id: int) -> None:
+        host = self._network.hosts[host_id]
+        if not host.alive:
+            return  # overlapping plans: already down
+        self._network.crash_host(host_id)
+        self._record("crash", host_id)
+
+    def _recover(self, host_id: int) -> None:
+        host = self._network.hosts[host_id]
+        if host.alive:
+            return
+        self._network.recover_host(host_id)
+        self._record("recover", host_id)
+
+    def _mute(self, host_id: int, until: float) -> None:
+        host = self._network.hosts[host_id]
+        host.suppress_hellos(until)
+        self._network.metrics.on_hello_mute(host_id, self._scheduler.now)
+        self._record("hello-mute", host_id)

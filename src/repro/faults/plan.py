@@ -1,0 +1,306 @@
+"""Declarative, seedable fault schedules.
+
+A :class:`FaultPlan` is pure data: explicit timed events (crash, recover,
+hello-mute), an optional random host-churn process, and an optional link-loss
+model (Bernoulli or Gilbert-Elliott).  It carries no simulation state, so it
+can be serialized (JSON round-trip), embedded in a
+:class:`~repro.experiments.config.ScenarioConfig`, and parsed from a compact
+CLI spec string.  Execution -- including expanding the churn process into
+concrete crash/recover events from a dedicated RNG substream -- is the
+:class:`~repro.faults.injector.FaultInjector`'s job.
+
+Spec syntax (clauses separated by ``;``)::
+
+    crash:host=3,at=5,recover=12       one host down from t=5 to t=12
+    crash:host=3,at=5                  ... down forever
+    mute:host=1,at=2,until=8           suppress host 1's HELLOs in [2, 8)
+    churn:rate=0.01,downtime=5         each alive host crashes as a Poisson
+                                       process (per-host rate/s), down 5 s
+    churn:rate=0.01,downtime=5,start=10,stop=60
+    loss:p=0.1                         Bernoulli link loss, 10 % per frame
+    ge:p=0.05,r=0.5,bad=0.8            Gilbert-Elliott burst loss
+    ge:p=0.05,r=0.5,good=0.01,bad=0.8
+
+``@path.json`` instead of clauses loads a JSON file with the
+:meth:`FaultPlan.to_dict` structure.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "CrashFault",
+    "MuteHelloFault",
+    "ChurnProcess",
+    "BernoulliLossSpec",
+    "GilbertElliottLossSpec",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash ``host_id`` at ``time``; recover at ``recover_at`` (or never)."""
+
+    time: float
+    host_id: int
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.time}")
+        if self.recover_at is not None and self.recover_at <= self.time:
+            raise ValueError(
+                f"recover_at {self.recover_at} must be > crash time {self.time}"
+            )
+
+
+@dataclass(frozen=True)
+class MuteHelloFault:
+    """Suppress ``host_id``'s HELLO transmissions in ``[time, until)``."""
+
+    time: float
+    host_id: int
+    until: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"mute time must be >= 0, got {self.time}")
+        if self.until <= self.time:
+            raise ValueError(
+                f"mute until {self.until} must be > start {self.time}"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnProcess:
+    """Random host churn: independent per-host Poisson crash arrivals.
+
+    While a host is alive inside ``[start, stop)``, its next crash is an
+    exponential ``rate`` draw away; each crash lasts ``downtime`` seconds.
+    The expansion into concrete events is deterministic given the fault
+    RNG substream, so the same seed reproduces the same churn trace.
+    """
+
+    rate: float  # per-host crash intensity, 1/s
+    downtime: float  # seconds a crashed host stays down
+    start: float = 0.0
+    stop: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"churn rate must be >= 0, got {self.rate}")
+        if self.downtime <= 0:
+            raise ValueError(f"downtime must be > 0, got {self.downtime}")
+        if self.stop <= self.start:
+            raise ValueError(
+                f"churn stop {self.stop} must be > start {self.start}"
+            )
+
+
+@dataclass(frozen=True)
+class BernoulliLossSpec:
+    """Memoryless per-frame link loss with probability ``p``."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {self.p}")
+
+
+@dataclass(frozen=True)
+class GilbertElliottLossSpec:
+    """Two-state (good/bad) per-link burst loss.
+
+    Each directed link runs an independent Gilbert-Elliott chain advanced
+    once per frame on that link: from good the link turns bad with
+    probability ``p``, from bad it heals with probability ``r``; a frame is
+    lost with probability ``loss_good`` in the good state and ``loss_bad``
+    in the bad state.  Mean sojourn in the bad state is ``1/r`` frames, so
+    smaller ``r`` means burstier loss at the same average rate.
+    """
+
+    p: float
+    r: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p", "r", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def stationary_loss(self) -> float:
+        """Long-run average loss probability of the chain."""
+        if self.p == 0.0 and self.r == 0.0:
+            return self.loss_good
+        bad_frac = self.p / (self.p + self.r)
+        return (1.0 - bad_frac) * self.loss_good + bad_frac * self.loss_bad
+
+
+LossSpec = Any  # BernoulliLossSpec | GilbertElliottLossSpec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, declarative fault schedule for one simulation."""
+
+    crashes: Tuple[CrashFault, ...] = ()
+    mutes: Tuple[MuteHelloFault, ...] = ()
+    churn: Optional[ChurnProcess] = None
+    loss: Optional[LossSpec] = None
+
+    def is_empty(self) -> bool:
+        return not (self.crashes or self.mutes or self.churn or self.loss)
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.crashes:
+            out["crashes"] = [asdict(c) for c in self.crashes]
+        if self.mutes:
+            out["mutes"] = [
+                {**asdict(m), "until": None if math.isinf(m.until) else m.until}
+                for m in self.mutes
+            ]
+        if self.churn is not None:
+            churn = asdict(self.churn)
+            if math.isinf(churn["stop"]):
+                churn["stop"] = None
+            out["churn"] = churn
+        if isinstance(self.loss, BernoulliLossSpec):
+            out["loss"] = {"kind": "bernoulli", **asdict(self.loss)}
+        elif isinstance(self.loss, GilbertElliottLossSpec):
+            out["loss"] = {"kind": "gilbert-elliott", **asdict(self.loss)}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        crashes = tuple(
+            CrashFault(**c) for c in data.get("crashes", ())
+        )
+        mutes = tuple(
+            MuteHelloFault(
+                time=m["time"],
+                host_id=m["host_id"],
+                until=math.inf if m.get("until") is None else m["until"],
+            )
+            for m in data.get("mutes", ())
+        )
+        churn = None
+        if "churn" in data:
+            raw = dict(data["churn"])
+            if raw.get("stop") is None:
+                raw["stop"] = math.inf
+            churn = ChurnProcess(**raw)
+        loss = None
+        if "loss" in data:
+            raw = dict(data["loss"])
+            kind = raw.pop("kind", "bernoulli")
+            if kind == "bernoulli":
+                loss = BernoulliLossSpec(**raw)
+            elif kind == "gilbert-elliott":
+                loss = GilbertElliottLossSpec(**raw)
+            else:
+                raise ValueError(f"unknown loss kind {kind!r}")
+        return cls(crashes=crashes, mutes=mutes, churn=churn, loss=loss)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # --------------------------------------------------------- spec parsing
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI spec string (see the module docstring) or ``@file``."""
+        spec = spec.strip()
+        if spec.startswith("@"):
+            with open(spec[1:]) as fh:
+                return cls.from_json(fh.read())
+        crashes = []
+        mutes = []
+        churn = None
+        loss = None
+        for clause in filter(None, (c.strip() for c in spec.split(";"))):
+            kind, _, body = clause.partition(":")
+            kind = kind.strip().lower()
+            kv = _parse_kv(body, clause)
+            if kind == "crash":
+                crashes.append(
+                    CrashFault(
+                        time=_need(kv, "at", clause),
+                        host_id=int(_need(kv, "host", clause)),
+                        recover_at=kv.get("recover"),
+                    )
+                )
+            elif kind == "mute":
+                mutes.append(
+                    MuteHelloFault(
+                        time=_need(kv, "at", clause),
+                        host_id=int(_need(kv, "host", clause)),
+                        until=kv.get("until", math.inf),
+                    )
+                )
+            elif kind == "churn":
+                if churn is not None:
+                    raise ValueError("multiple churn clauses")
+                churn = ChurnProcess(
+                    rate=_need(kv, "rate", clause),
+                    downtime=_need(kv, "downtime", clause),
+                    start=kv.get("start", 0.0),
+                    stop=kv.get("stop", math.inf),
+                )
+            elif kind == "loss":
+                if loss is not None:
+                    raise ValueError("multiple loss clauses")
+                loss = BernoulliLossSpec(p=_need(kv, "p", clause))
+            elif kind == "ge":
+                if loss is not None:
+                    raise ValueError("multiple loss clauses")
+                loss = GilbertElliottLossSpec(
+                    p=_need(kv, "p", clause),
+                    r=_need(kv, "r", clause),
+                    loss_good=kv.get("good", 0.0),
+                    loss_bad=kv.get("bad", 1.0),
+                )
+            else:
+                raise ValueError(
+                    f"unknown fault clause {kind!r} in {clause!r}; expected "
+                    "crash / mute / churn / loss / ge"
+                )
+        return cls(
+            crashes=tuple(crashes), mutes=tuple(mutes), churn=churn, loss=loss
+        )
+
+
+def _parse_kv(body: str, clause: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for item in filter(None, (i.strip() for i in body.split(","))):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(f"expected key=value, got {item!r} in {clause!r}")
+        try:
+            out[key.strip()] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"non-numeric value {value!r} for {key!r} in {clause!r}"
+            ) from None
+    return out
+
+
+def _need(kv: Dict[str, float], key: str, clause: str) -> float:
+    if key not in kv:
+        raise ValueError(f"missing {key!r} in fault clause {clause!r}")
+    return kv[key]

@@ -69,6 +69,7 @@ class MacStats:
     broadcast_frames_sent: int = 0
     unicast_frames_sent: int = 0
     frames_cancelled: int = 0
+    frames_flushed: int = 0  # queued frames discarded by a crash/shutdown
     frames_received: int = 0
     frames_corrupted: int = 0
     backoffs_started: int = 0
@@ -154,6 +155,9 @@ class CsmaCaMac(RadioListener):
         self._access_event: Optional[Event] = None
         self._awaiting_ack: Optional[MacFrameHandle] = None
         self._ack_timeout_event: Optional[Event] = None
+        self._tx_done_event: Optional[Event] = None
+        self._pending_ack_txs: list = []  # scheduled SIFS->ACK events
+        self._dead = False
         self._tx_seq = 0
         #: Last delivered unicast mac_seq per sender (duplicate detection).
         self._last_rx_seq: dict = {}
@@ -199,6 +203,8 @@ class CsmaCaMac(RadioListener):
         return self._enqueue(handle)
 
     def _enqueue(self, handle: MacFrameHandle) -> MacFrameHandle:
+        if self._dead:
+            raise RuntimeError(f"host {self.host_id}: MAC is shut down")
         self._tx_seq += 1
         handle.mac_seq = self._tx_seq
         self._queue.append(handle)
@@ -238,6 +244,72 @@ class CsmaCaMac(RadioListener):
     def contention_window(self) -> int:
         """Current CW (grows on unicast retries, resets on resolution)."""
         return self._cw
+
+    @property
+    def is_shut_down(self) -> bool:
+        return self._dead
+
+    # ------------------------------------------------- crash / recover
+
+    def shutdown(self) -> None:
+        """Power the radio off (host crash).
+
+        Aborts any in-flight transmission at the channel, cancels every
+        pending MAC event (access, ACK timeout, tx-done, queued SIFS->ACK
+        responses), flushes the queue -- unicast frames report failure to
+        their ``on_complete`` -- and detaches from the channel.  Idempotent.
+        """
+        if self._dead:
+            return
+        self._dead = True
+        if self._transmitting:
+            self._channel.abort_transmission(self.host_id)
+            self._transmitting = False
+        for event in (
+            self._access_event, self._ack_timeout_event, self._tx_done_event,
+        ):
+            if event is not None:
+                event.cancel()
+        self._access_event = None
+        self._ack_timeout_event = None
+        self._tx_done_event = None
+        for event in self._pending_ack_txs:
+            event.cancel()
+        self._pending_ack_txs.clear()
+        pending = list(self._queue)
+        if self._awaiting_ack is not None:
+            pending.append(self._awaiting_ack)
+            self._awaiting_ack = None
+        self._queue.clear()
+        for handle in pending:
+            if handle.cancelled:
+                continue
+            self.stats.frames_flushed += 1
+            if handle.is_unicast and handle.on_complete is not None:
+                handle.on_complete(False)
+        self._backoff_remaining = None
+        self._countdown_base = None
+        self._others_busy = False
+        self._cw = self._params.cw_min
+        self._channel.detach(self.host_id)
+
+    def restart(self) -> None:
+        """Power the radio back on after :meth:`shutdown` (host recovery).
+
+        Re-attaches to the channel with a clean slate: empty queue, fresh
+        contention state, and the medium assumed idle as of now (frames
+        already in flight froze their receiver sets at tx-start, so the
+        re-attached radio hears nothing until the next frame begins --
+        exactly like a station that just powered on mid-frame).
+        """
+        if not self._dead:
+            raise RuntimeError(f"host {self.host_id}: MAC is not shut down")
+        self._dead = False
+        self._channel.attach(self.host_id, self)
+        now = self._scheduler.now
+        self._others_busy = False
+        self._others_idle_since = now
+        self._last_tx_end = now
 
     # --------------------------------------------------- channel callbacks
 
@@ -362,9 +434,12 @@ class CsmaCaMac(RadioListener):
             mac_seq=handle.mac_seq,
         )
         self._channel.start_transmission(self.host_id, envelope, duration)
-        self._scheduler.schedule(duration, self._tx_done, handle)
+        self._tx_done_event = self._scheduler.schedule(
+            duration, self._tx_done, handle
+        )
 
     def _tx_done(self, handle: MacFrameHandle) -> None:
+        self._tx_done_event = None
         self._transmitting = False
         self._last_tx_end = self._scheduler.now
         if handle.is_unicast:
@@ -419,9 +494,18 @@ class CsmaCaMac(RadioListener):
         self._maybe_resume()
 
     def _schedule_ack(self, dst: int) -> None:
-        self._scheduler.schedule(self._params.sifs, self._transmit_ack, dst)
+        event = self._scheduler.schedule(
+            self._params.sifs, self._transmit_ack, dst
+        )
+        self._pending_ack_txs.append(event)
 
     def _transmit_ack(self, dst: int) -> None:
+        self._pending_ack_txs = [
+            e for e in self._pending_ack_txs if not e.cancelled and e.time
+            > self._scheduler.now
+        ]
+        if self._dead:
+            return
         if self._transmitting:
             # Radio busy with our own frame: the ACK is lost (the sender
             # will retry).  Rare, but physically accurate for half-duplex.
@@ -435,9 +519,12 @@ class CsmaCaMac(RadioListener):
         ack = AckFrame(src=self.host_id, dst=dst)
         duration = self._params.airtime(ack.size_bytes)
         self._channel.start_transmission(self.host_id, ack, duration)
-        self._scheduler.schedule(duration, self._ack_tx_done)
+        self._tx_done_event = self._scheduler.schedule(
+            duration, self._ack_tx_done
+        )
 
     def _ack_tx_done(self) -> None:
+        self._tx_done_event = None
         self._transmitting = False
         self._last_tx_end = self._scheduler.now
         self._maybe_resume()

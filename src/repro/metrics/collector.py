@@ -10,9 +10,11 @@ from repro.net.packets import PacketKey
 
 __all__ = [
     "BroadcastRecord",
+    "FaultEventRecord",
     "MetricsCollector",
     "SummaryStat",
     "SimulationSummary",
+    "WindowSummary",
 ]
 
 
@@ -122,6 +124,35 @@ class SimulationSummary:
         }
 
 
+@dataclass(frozen=True)
+class FaultEventRecord:
+    """One executed fault event, for the deterministic fault trace."""
+
+    time: float
+    kind: str  # "crash" | "recover" | "hello-mute" | "skipped-broadcast"
+    host_id: int
+
+
+@dataclass
+class WindowSummary:
+    """RE / SRB aggregated over broadcasts originated in ``[start, end)``."""
+
+    start: float
+    end: float
+    reachability: Optional[SummaryStat]
+    saved_rebroadcast: Optional[SummaryStat]
+    broadcasts: int
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "re": self.reachability.mean if self.reachability else math.nan,
+            "srb": self.saved_rebroadcast.mean if self.saved_rebroadcast else math.nan,
+            "broadcasts": self.broadcasts,
+        }
+
+
 class MetricsCollector:
     """Receives events from hosts and produces the simulation summary."""
 
@@ -130,6 +161,10 @@ class MetricsCollector:
         self.hello_packets_sent = 0
         self.hello_counts_by_host: Dict[int, int] = {}
         self.store_reachable_sets = store_reachable_sets
+        #: Executed fault events in time order (crashes, recoveries, mutes,
+        #: broadcasts skipped because the drawn source was down).
+        self.fault_events: List[FaultEventRecord] = []
+        self.broadcasts_skipped = 0
 
     # ----------------------------------------------------------- events
 
@@ -184,6 +219,24 @@ class MetricsCollector:
             self.hello_counts_by_host.get(host_id, 0) + 1
         )
 
+    # ---------------------------------------------------- fault events
+
+    def on_host_crash(self, host_id: int, time: float) -> None:
+        self.fault_events.append(FaultEventRecord(time, "crash", host_id))
+
+    def on_host_recover(self, host_id: int, time: float) -> None:
+        self.fault_events.append(FaultEventRecord(time, "recover", host_id))
+
+    def on_hello_mute(self, host_id: int, time: float) -> None:
+        self.fault_events.append(FaultEventRecord(time, "hello-mute", host_id))
+
+    def on_broadcast_skipped(self, source_id: int, time: float) -> None:
+        """The traffic generator drew a source that is currently down."""
+        self.broadcasts_skipped += 1
+        self.fault_events.append(
+            FaultEventRecord(time, "skipped-broadcast", source_id)
+        )
+
     # ------------------------------------------------------- aggregation
 
     def summarize(self, end_time: Optional[float] = None) -> SimulationSummary:
@@ -206,3 +259,85 @@ class MetricsCollector:
             broadcasts=len(self.records),
             hello_packets_sent=self.hello_packets_sent,
         )
+
+    # ------------------------------------- graceful-degradation metrics
+
+    def window_summary(
+        self, boundaries: List[float], end_time: float
+    ) -> List[WindowSummary]:
+        """RE / SRB per time window, split at ``boundaries``.
+
+        Broadcasts are bucketed by origin time into the half-open windows
+        ``[0, b0), [b0, b1), ..., [b_last, end_time)``.  Used to read how
+        the schemes behave before / during / after a fault wave.
+        """
+        cuts = sorted(set(b for b in boundaries if 0.0 < b < end_time))
+        edges = [0.0] + cuts + [end_time]
+        out = []
+        for start, end in zip(edges[:-1], edges[1:]):
+            res, srbs, count = [], [], 0
+            for record in self.records.values():
+                if not start <= record.origin_time < end:
+                    continue
+                count += 1
+                re = record.reachability
+                if re is not None:
+                    res.append(re)
+                srb = record.saved_rebroadcast
+                if srb is not None:
+                    srbs.append(srb)
+            out.append(
+                WindowSummary(
+                    start=start,
+                    end=end,
+                    reachability=SummaryStat.of(res),
+                    saved_rebroadcast=SummaryStat.of(srbs),
+                    broadcasts=count,
+                )
+            )
+        return out
+
+    def fault_window_summary(self, end_time: float) -> List[WindowSummary]:
+        """Windows cut at every recorded crash / recover event."""
+        boundaries = [
+            ev.time for ev in self.fault_events
+            if ev.kind in ("crash", "recover")
+        ]
+        return self.window_summary(boundaries, end_time)
+
+    def time_to_recover(
+        self,
+        after: float,
+        baseline_re: float,
+        fraction: float = 0.9,
+        consecutive: int = 1,
+    ) -> Optional[float]:
+        """Seconds from ``after`` until RE first returns to
+        ``fraction * baseline_re`` for ``consecutive`` broadcasts in a row.
+
+        The standard time-to-recover probe after a crash wave: take the
+        pre-fault mean RE as the baseline, pass the recovery instant as
+        ``after``, and read how long the degraded neighbor knowledge takes
+        to heal.  Returns ``None`` if RE never recovers in the record.
+        """
+        if consecutive < 1:
+            raise ValueError(f"consecutive must be >= 1, got {consecutive}")
+        target = fraction * baseline_re
+        eligible = sorted(
+            (r for r in self.records.values()
+             if r.origin_time >= after and r.reachability is not None),
+            key=lambda r: r.origin_time,
+        )
+        run = 0
+        run_start: Optional[float] = None
+        for record in eligible:
+            if record.reachability >= target:
+                run += 1
+                if run_start is None:
+                    run_start = record.origin_time
+                if run >= consecutive:
+                    return run_start - after
+            else:
+                run = 0
+                run_start = None
+        return None

@@ -106,6 +106,9 @@ class MobileHost:
         self.mac = CsmaCaMac(host_id, scheduler, channel, params, mac_rng, self)
         self.hello_enabled = self.hello_config.resolved_enabled(scheme)
         self._hello_started = False
+        self._hello_event = None
+        self._hello_muted_until = 0.0
+        self.alive = True
 
         scheme.attach(self)
 
@@ -120,7 +123,52 @@ class MobileHost:
         if self.hello_enabled and not self._hello_started:
             self._hello_started = True
             offset = self._hello_rng.uniform(0.0, self.hello_config.interval)
-            self.scheduler.schedule(offset, self._send_hello)
+            self._hello_event = self.scheduler.schedule(offset, self._send_hello)
+
+    def crash(self) -> None:
+        """Go dark: radio off, all volatile protocol state lost.
+
+        The MAC aborts any in-flight frame, flushes its queue and detaches
+        from the channel; the hello timer stops; the neighbor table,
+        duplicate cache and scheme state are wiped so a later
+        :meth:`recover` comes back cold.  Mobility continues -- it is the
+        radio that dies, not the vehicle carrying it.
+        """
+        if not self.alive:
+            raise ValueError(f"host {self.host_id} is already crashed")
+        self.alive = False
+        self.mac.shutdown()
+        if self._hello_event is not None:
+            self._hello_event.cancel()
+            self._hello_event = None
+        self._hello_started = False
+        self.neighbor_table = NeighborTable(
+            default_interval=self.hello_config.interval
+        )
+        self.dup_cache.clear()
+        self.scheme.reset()
+
+    def recover(self) -> None:
+        """Power back on after :meth:`crash`, with cold tables.
+
+        The radio re-attaches to the channel and the hello protocol restarts
+        with a fresh desynchronization offset; one- and two-hop knowledge
+        must be relearned from scratch.
+        """
+        if self.alive:
+            raise ValueError(f"host {self.host_id} is not crashed")
+        self.alive = True
+        self.mac.restart()
+        self.start()
+
+    def suppress_hellos(self, until: float) -> None:
+        """Mute this host's HELLO transmissions until time ``until``.
+
+        The hello timer keeps ticking (so the cadence is undisturbed once
+        the mute lifts) but no packet goes on the air -- neighbors' tables
+        go stale and age this host out after their timeout.
+        """
+        self._hello_muted_until = max(self._hello_muted_until, until)
 
     # ------------------------------------------------------- SchemeHost API
 
@@ -212,6 +260,12 @@ class MobileHost:
 
     def _send_hello(self) -> None:
         now = self.scheduler.now
+        if now < self._hello_muted_until:
+            # Fault injection: HELLO suppressed; keep the timer ticking.
+            self._hello_event = self.scheduler.schedule(
+                self.hello_config.interval, self._send_hello
+            )
+            return
         self.neighbor_table.purge(now)
         neighbor_ids = None
         if self.scheme.needs_two_hop_hello:
@@ -234,4 +288,4 @@ class MobileHost:
         )
         self.mac.send(hello, hello.size_bytes)
         self.metrics.on_hello_sent(self.host_id)
-        self.scheduler.schedule(interval, self._send_hello)
+        self._hello_event = self.scheduler.schedule(interval, self._send_hello)

@@ -97,10 +97,27 @@ class Network:
         now = self.scheduler.now
         return {h.host_id: h.mobility.position(now) for h in self.hosts}
 
+    def alive_ids(self) -> Set[int]:
+        """Hosts whose radios are currently up."""
+        return {h.host_id for h in self.hosts if h.alive}
+
+    def alive_positions(self) -> Dict[int, Tuple[float, float]]:
+        """Positions of alive hosts only (crashed radios cannot relay)."""
+        now = self.scheduler.now
+        return {
+            h.host_id: h.mobility.position(now) for h in self.hosts if h.alive
+        }
+
     def reachable_from(self, source_id: int) -> Set[int]:
-        """Hosts currently reachable from ``source_id`` (source excluded)."""
+        """Alive hosts currently reachable from ``source_id`` via alive
+        relays (source excluded).
+
+        Crashed hosts are excluded both as destinations and as relays, so
+        the ``e`` of RE measures what is *physically attainable* at
+        initiation time -- the graceful-degradation denominator.
+        """
         return reachable_set(
-            self.positions(), source_id, self.params.radio_radius
+            self.alive_positions(), source_id, self.params.radio_radius
         )
 
     # ----------------------------------------------------------- lifecycle
@@ -110,6 +127,20 @@ class Network:
         for host in self.hosts:
             host.start()
 
+    def crash_host(self, host_id: int) -> None:
+        """Crash ``host_id`` (see :meth:`MobileHost.crash`)."""
+        if not 0 <= host_id < len(self.hosts):
+            raise ValueError(f"no such host {host_id}")
+        self.hosts[host_id].crash()
+        self.metrics.on_host_crash(host_id, self.scheduler.now)
+
+    def recover_host(self, host_id: int) -> None:
+        """Recover a crashed ``host_id`` with cold protocol state."""
+        if not 0 <= host_id < len(self.hosts):
+            raise ValueError(f"no such host {host_id}")
+        self.hosts[host_id].recover()
+        self.metrics.on_host_recover(host_id, self.scheduler.now)
+
     def initiate_broadcast(self, source_id: int) -> BroadcastPacket:
         """Originate a broadcast at ``source_id``, recording the snapshot.
 
@@ -118,6 +149,8 @@ class Network:
         """
         if not 0 <= source_id < len(self.hosts):
             raise ValueError(f"no such host {source_id}")
+        if not self.hosts[source_id].alive:
+            raise ValueError(f"host {source_id} is crashed")
         reachable = self.reachable_from(source_id)
         self._seq += 1
         seq = self._seq

@@ -39,7 +39,13 @@ notifications are synchronous -- at frame end there is no equivalent race.
 Failure injection
 -----------------
 ``drop_predicate(sender_id, receiver_id)`` lets tests corrupt arbitrary
-links deterministically.
+links deterministically; it is a writable property so the fault subsystem
+(:mod:`repro.faults`) can compose bursty link-loss processes onto it at
+runtime.  :meth:`Channel.abort_transmission` truncates an in-flight frame
+(a crashing radio): the frame is removed from every receiver's air without
+ever being delivered, and :meth:`Channel.detach` aborts the host's own
+transmission first so a dead radio can neither KeyError the end-of-frame
+event nor deliver from beyond the grave.
 """
 
 from __future__ import annotations
@@ -82,6 +88,8 @@ class ChannelStats:
     collisions: int = 0
     deaf_misses: int = 0  # frame arrived while the receiver was transmitting
     injected_drops: int = 0
+    aborted_frames: int = 0  # transmissions truncated mid-frame (crash)
+    truncated_receptions: int = 0  # receptions scrubbed by a sender abort
     #: Per-host seconds spent transmitting / receiving energy.  A standard
     #: first-order energy proxy: radio energy ~ a*tx_airtime + b*rx_airtime.
     tx_airtime: Dict[int, float] = field(default_factory=dict)
@@ -115,7 +123,10 @@ class _Reception:
 
 
 class _Transmission:
-    __slots__ = ("sender_id", "frame", "end_time", "receiver_ids", "position")
+    __slots__ = (
+        "sender_id", "frame", "end_time", "receiver_ids", "position",
+        "end_event",
+    )
 
     def __init__(
         self,
@@ -130,6 +141,7 @@ class _Transmission:
         self.end_time = end_time
         self.receiver_ids = receiver_ids
         self.position = position
+        self.end_event: Any = None
 
 
 class Channel:
@@ -159,6 +171,16 @@ class Channel:
     def params(self) -> PhyParams:
         return self._params
 
+    @property
+    def drop_predicate(self) -> Optional[Callable[[int, int], bool]]:
+        return self._drop_predicate
+
+    @drop_predicate.setter
+    def drop_predicate(
+        self, predicate: Optional[Callable[[int, int], bool]]
+    ) -> None:
+        self._drop_predicate = predicate
+
     def attach(self, host_id: int, listener: RadioListener) -> None:
         """Register a host's radio.  Host ids must be unique."""
         if host_id in self._listeners:
@@ -167,9 +189,56 @@ class Channel:
         self._incoming[host_id] = {}
 
     def detach(self, host_id: int) -> None:
-        """Remove a host (e.g. to simulate going offline)."""
+        """Remove a host (e.g. crash / going offline).
+
+        If the host is mid-transmission its frame is aborted first, so the
+        scheduled end-of-frame event neither KeyErrors nor delivers a frame
+        from a radio that no longer exists.  Receptions in progress at the
+        host simply vanish with its inbox.
+        """
+        if host_id in self._active:
+            self.abort_transmission(host_id)
         self._listeners.pop(host_id, None)
         self._incoming.pop(host_id, None)
+
+    def abort_transmission(self, sender_id: int) -> bool:
+        """Truncate ``sender_id``'s in-flight frame (radio crash / power-off).
+
+        The frame disappears from the air immediately: every receiver's
+        reception of it is scrubbed without any delivery or corruption
+        callback (a truncated frame fails its CRC and carries no decodable
+        information; the energy stops now, so receivers whose inbox empties
+        get a medium-idle edge).  TX/RX airtime counters are credited back
+        for the unsent remainder.  Returns ``True`` if a frame was actually
+        aborted, ``False`` if the host was not transmitting.
+        """
+        tx = self._active.pop(sender_id, None)
+        if tx is None:
+            return False
+        if tx.end_event is not None:
+            tx.end_event.cancel()
+        now = self._scheduler.now
+        remainder = max(0.0, tx.end_time - now)
+        self.stats.aborted_frames += 1
+        self.stats.add_tx_airtime(sender_id, -remainder)
+        self._tracer.emit(now, "tx-abort", sender=sender_id)
+        newly_idle: List[int] = []
+        for host_id in tx.receiver_ids:
+            inbox = self._incoming.get(host_id)
+            if inbox is None:  # receiver itself detached mid-frame
+                continue
+            reception = inbox.pop(sender_id, None)
+            if reception is None:
+                continue
+            self.stats.truncated_receptions += 1
+            self.stats.add_rx_airtime(host_id, -remainder)
+            if not inbox:
+                newly_idle.append(host_id)
+        for host_id in newly_idle:
+            listener = self._listeners.get(host_id)
+            if listener is not None:
+                listener.on_medium_state(False)
+        return True
 
     @property
     def attached_ids(self) -> List[int]:
@@ -262,7 +331,9 @@ class Channel:
 
         if newly_busy:
             self._scheduler.schedule(0.0, self._notify_busy, newly_busy)
-        self._scheduler.schedule(duration, self._end_transmission, sender_id)
+        tx.end_event = self._scheduler.schedule(
+            duration, self._end_transmission, sender_id
+        )
 
     def _resolve_overlap(self, inbox: Dict[int, "_Reception"]) -> None:
         """Corrupt overlapping receptions, honoring the capture model.
@@ -296,7 +367,9 @@ class Channel:
                 listener.on_medium_state(True)
 
     def _end_transmission(self, sender_id: int) -> None:
-        tx = self._active.pop(sender_id)
+        tx = self._active.pop(sender_id, None)
+        if tx is None:  # aborted mid-frame (the end event should have been
+            return      # cancelled; this guard makes the race harmless)
         completed: List[Tuple[int, _Reception]] = []
         newly_idle: List[int] = []
         for host_id in tx.receiver_ids:

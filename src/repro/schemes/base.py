@@ -109,6 +109,15 @@ class RebroadcastScheme(ABC):
         """The host is the broadcast source: transmit unconditionally."""
         self.host.submit_rebroadcast(packet, on_transmit_start=None)
 
+    def reset(self) -> None:
+        """Discard all per-packet state (host crash).
+
+        No inhibit decisions are recorded for abandoned packets -- a crashed
+        host never decided anything; the metrics layer charges it the
+        simulation-end fallback.  The default implementation is a no-op for
+        stateless schemes.
+        """
+
     @abstractmethod
     def on_first_hear(
         self,
@@ -188,6 +197,19 @@ class DeferredRebroadcastScheme(RebroadcastScheme):
     def pending_count(self) -> int:
         """Packets currently in the S2/S4 waiting stage (for tests)."""
         return len(self._pending)
+
+    def reset(self) -> None:
+        """Drop every pending assessment: cancel jitter waits and withdraw
+        queued-but-unsent MAC frames.  (The MAC flushes its queue separately
+        on a crash; cancelling here keeps the handles consistent if the
+        scheme is reset without a full MAC shutdown.)"""
+        for state in list(self._pending.values()):
+            if state.jitter_event is not None:
+                state.jitter_event.cancel()
+                state.jitter_event = None
+            if state.mac_handle is not None:
+                state.mac_handle.cancel()
+        self._pending.clear()
 
     def on_first_hear(
         self,

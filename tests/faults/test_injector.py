@@ -1,0 +1,150 @@
+"""FaultInjector: plan execution, churn determinism, loss composition."""
+
+import pytest
+
+from repro.experiments.topologies import build_static_network, line_positions
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BernoulliLossSpec,
+    ChurnProcess,
+    CrashFault,
+    FaultPlan,
+    MuteHelloFault,
+)
+from repro.phy.params import PhyParams
+from repro.schemes.flooding import FloodingScheme
+from repro.sim.engine import Scheduler
+from repro.sim.randomness import RandomStreams
+
+
+def make_network(n=4, spacing=50.0):
+    scheduler = Scheduler()
+    network, metrics = build_static_network(
+        scheduler,
+        line_positions(n, spacing),
+        FloodingScheme,
+        params=PhyParams(radio_radius=100.0),
+    )
+    return scheduler, network, metrics
+
+
+def install(scheduler, network, plan, seed=0, horizon=100.0):
+    injector = FaultInjector(
+        scheduler, network, plan, RandomStreams(seed), horizon=horizon
+    )
+    injector.install()
+    return injector
+
+
+def test_scheduled_crash_and_recover_execute():
+    scheduler, network, metrics = make_network()
+    plan = FaultPlan(crashes=(CrashFault(time=1.0, host_id=2, recover_at=3.0),))
+    injector = install(scheduler, network, plan)
+    scheduler.run(until=2.0)
+    assert not network.hosts[2].alive
+    assert network.alive_ids() == {0, 1, 3}
+    scheduler.run(until=4.0)
+    assert network.hosts[2].alive
+    assert [(e.time, e.kind, e.host_id) for e in injector.trace] == [
+        (1.0, "crash", 2),
+        (3.0, "recover", 2),
+    ]
+    assert [(e.time, e.kind, e.host_id) for e in metrics.fault_events] == [
+        (1.0, "crash", 2),
+        (3.0, "recover", 2),
+    ]
+
+
+def test_overlapping_crashes_are_lenient():
+    """Explicit plan + churn can double-crash a host; extras are no-ops."""
+    scheduler, network, _ = make_network()
+    plan = FaultPlan(
+        crashes=(
+            CrashFault(time=1.0, host_id=2, recover_at=5.0),
+            CrashFault(time=2.0, host_id=2, recover_at=3.0),
+        )
+    )
+    injector = install(scheduler, network, plan)
+    scheduler.run(until=10.0)
+    assert network.hosts[2].alive
+    # Only the first crash and first recover actually executed.
+    kinds = [(e.kind, e.host_id) for e in injector.trace]
+    assert kinds == [("crash", 2), ("recover", 2)]
+
+
+def test_mute_records_event_and_suppresses():
+    scheduler, network, _ = make_network()
+    plan = FaultPlan(mutes=(MuteHelloFault(time=1.0, host_id=0, until=5.0),))
+    injector = install(scheduler, network, plan)
+    scheduler.run(until=2.0)
+    assert injector.trace[0].kind == "hello-mute"
+    assert network.hosts[0]._hello_muted_until == 5.0
+
+
+def test_churn_expansion_is_deterministic():
+    def churn_trace(seed):
+        scheduler, network, _ = make_network(n=6)
+        plan = FaultPlan(churn=ChurnProcess(rate=0.05, downtime=4.0))
+        injector = install(scheduler, network, plan, seed=seed, horizon=60.0)
+        scheduler.run(until=60.0)
+        return [(e.time, e.kind, e.host_id) for e in injector.trace]
+
+    a = churn_trace(seed=42)
+    b = churn_trace(seed=42)
+    c = churn_trace(seed=43)
+    assert a == b
+    assert len(a) > 0
+    assert a != c
+
+
+def test_churn_respects_window():
+    scheduler, network, _ = make_network(n=6)
+    plan = FaultPlan(
+        churn=ChurnProcess(rate=0.5, downtime=2.0, start=10.0, stop=20.0)
+    )
+    injector = install(scheduler, network, plan, horizon=60.0)
+    scheduler.run(until=60.0)
+    crashes = [e for e in injector.trace if e.kind == "crash"]
+    assert crashes, "rate=0.5 over 6 hosts for 10 s should crash someone"
+    assert all(10.0 < e.time < 20.0 for e in crashes)
+
+
+def test_unbounded_churn_without_horizon_raises():
+    scheduler, network, _ = make_network()
+    plan = FaultPlan(churn=ChurnProcess(rate=0.1, downtime=2.0))
+    injector = FaultInjector(
+        scheduler, network, plan, RandomStreams(0), horizon=None
+    )
+    with pytest.raises(ValueError, match="horizon"):
+        injector.install()
+
+
+def test_loss_model_installed_on_channel():
+    scheduler, network, _ = make_network()
+    plan = FaultPlan(loss=BernoulliLossSpec(p=1.0))
+    install(scheduler, network, plan)
+    assert network.channel.drop_predicate(0, 1) is True
+
+
+def test_loss_composes_with_base_drop_predicate():
+    scheduler = Scheduler()
+    network, _ = build_static_network(
+        scheduler,
+        line_positions(3, 50.0),
+        FloodingScheme,
+        params=PhyParams(radio_radius=100.0),
+        drop_predicate=lambda s, r: (s, r) == (0, 1),
+    )
+    plan = FaultPlan(loss=BernoulliLossSpec(p=0.0))
+    install(scheduler, network, plan)
+    # Base predicate still applies even though the fault loss never drops.
+    assert network.channel.drop_predicate(0, 1) is True
+    assert network.channel.drop_predicate(1, 2) is False
+
+
+def test_empty_plan_installs_nothing():
+    scheduler, network, _ = make_network()
+    injector = install(scheduler, network, FaultPlan())
+    scheduler.run(until=10.0)
+    assert injector.trace == []
+    assert network.channel.drop_predicate is None

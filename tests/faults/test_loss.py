@@ -1,0 +1,100 @@
+"""Link-loss process behaviour: rates, burstiness, per-link determinism."""
+
+import pytest
+
+from repro.faults.loss import BernoulliLoss, GilbertElliottLoss, make_loss_model
+from repro.faults.plan import BernoulliLossSpec, GilbertElliottLossSpec
+from repro.sim.randomness import RandomStreams
+
+
+def drop_rate(model, n=4000, link=(0, 1)):
+    return sum(model.should_drop(*link) for _ in range(n)) / n
+
+
+def test_bernoulli_empirical_rate():
+    model = BernoulliLoss(BernoulliLossSpec(p=0.2), RandomStreams(1))
+    assert drop_rate(model) == pytest.approx(0.2, abs=0.03)
+
+
+def test_bernoulli_zero_p_never_drops():
+    model = BernoulliLoss(BernoulliLossSpec(p=0.0), RandomStreams(1))
+    assert drop_rate(model, n=200) == 0.0
+
+
+def test_links_are_independent_streams():
+    """The sequence on link 0->1 must not depend on traffic crossing 2->3."""
+    a = BernoulliLoss(BernoulliLossSpec(p=0.5), RandomStreams(7))
+    b = BernoulliLoss(BernoulliLossSpec(p=0.5), RandomStreams(7))
+    # Interleave unrelated traffic on model b only.
+    seq_a = []
+    seq_b = []
+    for _ in range(100):
+        seq_a.append(a.should_drop(0, 1))
+        b.should_drop(2, 3)
+        seq_b.append(b.should_drop(0, 1))
+    assert seq_a == seq_b
+
+
+def test_directed_links_are_distinct():
+    model = BernoulliLoss(BernoulliLossSpec(p=0.5), RandomStreams(7))
+    fwd = [model.should_drop(0, 1) for _ in range(200)]
+    model2 = BernoulliLoss(BernoulliLossSpec(p=0.5), RandomStreams(7))
+    rev = [model2.should_drop(1, 0) for _ in range(200)]
+    assert fwd != rev
+
+
+def test_ge_starts_good_and_matches_stationary_loss():
+    spec = GilbertElliottLossSpec(p=0.05, r=0.2, loss_good=0.0, loss_bad=1.0)
+    model = GilbertElliottLoss(spec, RandomStreams(3))
+    assert model.link_state(0, 1) == "good"
+    assert drop_rate(model, n=8000) == pytest.approx(
+        spec.stationary_loss, abs=0.05
+    )
+
+
+def test_ge_losses_are_bursty():
+    """At equal average loss, smaller r must produce longer loss runs."""
+
+    def mean_run_length(model, n=8000):
+        runs = []
+        current = 0
+        for _ in range(n):
+            if model.should_drop(0, 1):
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        if current:
+            runs.append(current)
+        return sum(runs) / len(runs)
+
+    bursty = GilbertElliottLoss(
+        GilbertElliottLossSpec(p=0.02, r=0.1), RandomStreams(5)
+    )
+    memoryless = BernoulliLoss(
+        BernoulliLossSpec(p=bursty.spec.stationary_loss), RandomStreams(5)
+    )
+    # Mean bad sojourn is 1/r = 10 frames; Bernoulli runs average ~1.2.
+    assert mean_run_length(bursty) > 3 * mean_run_length(memoryless)
+
+
+def test_ge_deterministic_across_instances():
+    spec = GilbertElliottLossSpec(p=0.1, r=0.3, loss_bad=0.8)
+    a = GilbertElliottLoss(spec, RandomStreams(11))
+    b = GilbertElliottLoss(spec, RandomStreams(11))
+    seq_a = [a.should_drop(4, 9) for _ in range(500)]
+    seq_b = [b.should_drop(4, 9) for _ in range(500)]
+    assert seq_a == seq_b
+
+
+def test_make_loss_model_dispatch():
+    streams = RandomStreams(0)
+    assert isinstance(
+        make_loss_model(BernoulliLossSpec(p=0.1), streams), BernoulliLoss
+    )
+    assert isinstance(
+        make_loss_model(GilbertElliottLossSpec(p=0.1, r=0.5), streams),
+        GilbertElliottLoss,
+    )
+    with pytest.raises(TypeError):
+        make_loss_model(object(), streams)

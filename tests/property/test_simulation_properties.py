@@ -31,8 +31,12 @@ def test_metrics_always_in_range(seed, scheme, map_units):
         re = record.reachability
         if re is not None:
             # Mobility between the snapshot and delivery can nudge a
-            # borderline host into range, so allow a whisker above 1.
-            assert 0.0 <= re <= 1.05
+            # borderline host into range, so allow a whisker above 1.  The
+            # whisker must scale with the snapshot size: with a small
+            # reachable set a single extra host is a large relative bump
+            # (e.g. e=11, r=12 gives RE=1.09).
+            whisker = 2.0 / record.reachable_count
+            assert 0.0 <= re <= 1.0 + max(0.05, whisker)
         srb = record.saved_rebroadcast
         if srb is not None:
             assert 0.0 <= srb <= 1.0
