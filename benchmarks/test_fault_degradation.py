@@ -19,11 +19,17 @@ near-memoryless loss: bursts concentrate the damage on a few links while
 the rest of the neighborhood stays clean.
 """
 
+import os
+
 from conftest import FULL, N_BROADCASTS, SEED, run_once
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import run_broadcast_simulation
+from repro.experiments.parallel import ParallelRunner
 from repro.faults.plan import ChurnProcess, FaultPlan, GilbertElliottLossSpec
 from repro.net.host import HelloConfig
+
+#: Worker processes for the sweep (1 = sequential); results are
+#: order-preserved so the curves are identical either way.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
 
 SCHEMES = {
     "flooding": ("flooding", {}, HelloConfig()),
@@ -51,9 +57,9 @@ def ge_spec(r):
     return GilbertElliottLossSpec(p=p, r=r, loss_good=0.0, loss_bad=1.0)
 
 
-def run_point(label, faults):
+def point_config(label, faults):
     scheme, params, hello = SCHEMES[label]
-    config = ScenarioConfig(
+    return ScenarioConfig(
         scheme=scheme,
         scheme_params=params,
         hello=hello,
@@ -61,15 +67,21 @@ def run_point(label, faults):
         seed=SEED,
         faults=faults,
     )
-    return run_broadcast_simulation(config)
 
 
 def sweep(fault_for):
     """{scheme: [(level_label, result), ...]} over one fault dimension."""
-    return {
-        label: [(lvl, run_point(label, plan)) for lvl, plan in fault_for]
+    points = [
+        (label, lvl, point_config(label, plan))
         for label in SCHEMES
-    }
+        for lvl, plan in fault_for
+    ]
+    runner = ParallelRunner(max_workers=JOBS)
+    results = runner.run_many([config for _, _, config in points])
+    curves = {label: [] for label in SCHEMES}
+    for (label, lvl, _), result in zip(points, results):
+        curves[label].append((lvl, result))
+    return curves
 
 
 def show(title, curves):

@@ -1,0 +1,125 @@
+"""Parallel execution layer: measured speedup and BENCH_parallel.json.
+
+Runs the same 3-scheme x 4-seed sweep (12 independent simulations)
+sequentially and through the process pool, asserts the pool actually
+pays, and emits ``BENCH_parallel.json`` with the timings and the
+runner's perf counters (events/sec, cache hit-rate).
+
+Env knobs:
+
+- ``REPRO_BENCH_JOBS`` -- parallel worker count (default 2).
+- ``REPRO_BENCH_MIN_SPEEDUP`` -- speedup floor (default 1.3).
+- ``REPRO_BENCH_OUT`` -- where to write the JSON (default
+  ``BENCH_parallel.json`` in the current directory).
+
+The 2x floor at ``--jobs 4`` from the issue's acceptance criteria is
+asserted only when the machine has >= 4 CPUs (gated, not skipped
+silently -- the JSON records which assertions ran).
+"""
+
+import json
+import os
+import time
+
+from conftest import SEED
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import ParallelRunner
+
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2") or "2")
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.3"))
+OUT_PATH = os.environ.get("REPRO_BENCH_OUT", "BENCH_parallel.json")
+
+SCHEMES = ("flooding", "adaptive-counter", "neighbor-coverage")
+SEEDS = (SEED, SEED + 1, SEED + 2, SEED + 3)
+#: Per-run size: big enough that pool startup amortizes, small enough
+#: for a CI smoke job.
+N_BROADCASTS = 25
+MAP_UNITS = 5
+
+
+def sweep_configs():
+    return [
+        ScenarioConfig(
+            scheme=scheme,
+            map_units=MAP_UNITS,
+            num_broadcasts=N_BROADCASTS,
+            seed=seed,
+        )
+        for scheme in SCHEMES
+        for seed in SEEDS
+    ]
+
+
+def timed_sweep(workers):
+    """(wall seconds, results, runner) for the sweep at ``workers``."""
+    runner = ParallelRunner(max_workers=workers)
+    start = time.perf_counter()
+    results = runner.run_many(sweep_configs())
+    return time.perf_counter() - start, results, runner
+
+
+def test_parallel_speedup_and_bench_json():
+    seq_wall, seq_results, _ = timed_sweep(workers=1)
+    par_wall, par_results, par_runner = timed_sweep(workers=JOBS)
+    speedup = seq_wall / par_wall if par_wall > 0 else float("inf")
+
+    # Determinism first: the pool must not change a single metric.
+    for seq_run, par_run in zip(seq_results, par_results):
+        assert seq_run.re == par_run.re
+        assert seq_run.srb == par_run.srb
+        assert seq_run.latency == par_run.latency
+        assert seq_run.events_processed == par_run.events_processed
+
+    cpus = os.cpu_count() or 1
+    assert_4x = cpus >= 4 and JOBS >= 4
+    report = {
+        "sweep": {
+            "schemes": list(SCHEMES),
+            "seeds": list(SEEDS),
+            "map_units": MAP_UNITS,
+            "num_broadcasts": N_BROADCASTS,
+            "runs": len(seq_results),
+        },
+        "jobs": JOBS,
+        "cpu_count": cpus,
+        "sequential_wall": seq_wall,
+        "parallel_wall": par_wall,
+        "speedup": speedup,
+        "min_speedup_asserted": MIN_SPEEDUP if JOBS > 1 else None,
+        "two_x_floor_asserted": assert_4x,
+        "perf": par_runner.perf.as_dict(),
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(
+        f"\nparallel sweep: {len(seq_results)} runs, jobs={JOBS}, "
+        f"sequential {seq_wall:.2f}s, parallel {par_wall:.2f}s, "
+        f"speedup {speedup:.2f}x -> wrote {OUT_PATH}"
+    )
+
+    if JOBS > 1 and cpus > 1:
+        assert speedup >= MIN_SPEEDUP, (
+            f"speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+            f"(jobs={JOBS}, cpus={cpus})"
+        )
+    if assert_4x:
+        assert speedup >= 2.0, (
+            f"speedup {speedup:.2f}x below the 2x floor at jobs={JOBS} "
+            f"on {cpus} CPUs"
+        )
+
+
+def test_warm_cache_skips_completed_runs(tmp_path):
+    cold = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    cold_wall = time.perf_counter()
+    cold.run_many(sweep_configs())
+    cold_wall = time.perf_counter() - cold_wall
+
+    warm = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    warm_wall = time.perf_counter()
+    warm.run_many(sweep_configs())
+    warm_wall = time.perf_counter() - warm_wall
+
+    assert warm.perf.simulated == 0
+    assert warm.perf.cache_hits == len(sweep_configs())
+    assert warm_wall < cold_wall

@@ -8,6 +8,11 @@ Two subcommands::
 ``run`` executes a single scenario and prints its summary line; ``figure``
 regenerates one of the paper's figures (fig01, fig02, fig05a-d, fig07,
 fig09, fig10, fig11, fig12, fig13) as a text table.
+
+``figure`` and ``sweep`` accept ``--jobs N`` to fan independent runs
+across N worker processes (results stay bit-identical to ``--jobs 1``)
+and ``--cache-dir DIR`` to reuse finished runs across invocations;
+``--no-cache`` forces fresh simulation even when a cache dir is set.
 """
 
 from __future__ import annotations
@@ -86,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also render an ASCII chart of RE per series")
     fig_p.add_argument("--csv", metavar="PATH", default=None,
                        help="write the series to a CSV file")
+    _add_exec_args(fig_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="run a scheme x map grid and print RE/SRB"
@@ -100,7 +106,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="multiple seeds aggregate with a 95%% CI")
     sweep_p.add_argument("--json", metavar="PATH", default=None,
                          help="also dump every run to a JSON file")
+    _add_exec_args(sweep_p)
     return parser
+
+
+def _add_exec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default 1 = sequential; "
+                   "0 = one per CPU core)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="reuse finished runs from this on-disk result cache")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always simulate, even when --cache-dir is set")
+
+
+def _make_executor(args: argparse.Namespace):
+    from repro.experiments.parallel import ParallelRunner
+
+    if args.jobs < 0:
+        raise SystemExit(f"error: --jobs must be >= 0, got {args.jobs}")
+    return ParallelRunner(
+        max_workers=None if args.jobs == 0 else args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
+def _print_perf(runner) -> None:
+    perf = runner.perf
+    print(
+        f"\n[perf] runs={perf.runs} simulated={perf.simulated} "
+        f"cache_hits={perf.cache_hits} ({perf.cache_hit_rate:.0%}) "
+        f"events/sec={perf.events_per_sec:,.0f} wall={perf.wall_time:.2f}s"
+    )
 
 
 def _render_extras(result, args) -> None:
@@ -172,6 +210,20 @@ def _show(result, args, metrics=("re", "srb")) -> None:
 
 
 def _run_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures.common import set_default_executor
+
+    runner = _make_executor(args)
+    previous = set_default_executor(runner)
+    try:
+        _dispatch_figure(args)
+    finally:
+        set_default_executor(previous)
+    if runner.perf.runs:
+        _print_perf(runner)
+    return 0
+
+
+def _dispatch_figure(args: argparse.Namespace) -> None:
     n = args.broadcasts
     seed = args.seed
     maps = tuple(args.maps) if args.maps else None
@@ -212,12 +264,10 @@ def _run_figure(args: argparse.Namespace) -> int:
         _show(fig13.run(**kw()), args, metrics=("re", "srb"))
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(name)
-    return 0
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
-    from repro.experiments.replication import replicate
-
+    runner = _make_executor(args)
     rows = []
     print(
         f"{'scheme':<20} {'map':>4} {'RE':>16} {'SRB':>16} {'latency':>10}"
@@ -230,7 +280,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
                 num_hosts=args.hosts,
                 num_broadcasts=args.broadcasts,
             )
-            result = replicate(config, seeds=args.seeds)
+            result = runner.replicate(config, seeds=args.seeds)
             print(
                 f"{scheme:<20} {units:>4} {str(result.re):>16} "
                 f"{str(result.srb):>16} "
@@ -250,6 +300,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"\nwrote {args.json}")
+    _print_perf(runner)
     return 0
 
 

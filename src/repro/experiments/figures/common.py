@@ -1,19 +1,34 @@
-"""Shared result containers and sweep helpers for the figure drivers."""
+"""Shared result containers and sweep helpers for the figure drivers.
+
+Execution layer
+---------------
+Figure drivers declare *what* to simulate -- ``(series, x, config)``
+entries -- and :func:`run_series_points` decides *how*: through the
+session's default executor (a
+:class:`~repro.experiments.parallel.ParallelRunner` installed via
+:func:`set_default_executor`, giving process-pool fan-out and result
+caching) or sequentially when none is installed.  Points land in the
+:class:`FigureResult` in declaration order either way, so tables and CSVs
+are identical no matter how the runs were scheduled.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import run_broadcast_simulation
+from repro.experiments.runner import SimulationResult, run_broadcast_simulation
 
 __all__ = [
     "SeriesPoint",
     "FigureResult",
     "PAPER_MAPS",
     "run_series_point",
+    "run_series_points",
+    "set_default_executor",
+    "get_default_executor",
 ]
 
 #: The paper's map-size sweep (side length in 500 m units).
@@ -77,9 +92,35 @@ class FigureResult:
         return "\n".join(lines)
 
 
-def run_series_point(config: ScenarioConfig, x: Any) -> SeriesPoint:
-    """Run one scenario and wrap its summary as a series point."""
-    result = run_broadcast_simulation(config)
+#: The installed execution backend (duck-typed: anything with
+#: ``run_many(configs) -> List[SimulationResult]``), or None = sequential.
+_default_executor: Optional[Any] = None
+
+
+def set_default_executor(executor: Optional[Any]) -> Optional[Any]:
+    """Install the executor figure drivers route their runs through.
+
+    Pass a :class:`~repro.experiments.parallel.ParallelRunner` (or any
+    object with ``run_many``); ``None`` restores plain sequential
+    execution.  Returns the previous executor so callers can restore it.
+    """
+    global _default_executor
+    previous = _default_executor
+    _default_executor = executor
+    return previous
+
+
+def get_default_executor() -> Optional[Any]:
+    return _default_executor
+
+
+def _execute(configs: List[ScenarioConfig]) -> List[SimulationResult]:
+    if _default_executor is not None:
+        return _default_executor.run_many(configs)
+    return [run_broadcast_simulation(config) for config in configs]
+
+
+def _point(result: SimulationResult, x: Any) -> SeriesPoint:
     return SeriesPoint(
         x=x,
         re=result.re,
@@ -87,3 +128,24 @@ def run_series_point(config: ScenarioConfig, x: Any) -> SeriesPoint:
         latency=result.latency,
         hellos=result.hellos,
     )
+
+
+def run_series_point(config: ScenarioConfig, x: Any) -> SeriesPoint:
+    """Run one scenario and wrap its summary as a series point."""
+    return _point(_execute([config])[0], x)
+
+
+def run_series_points(
+    figure: FigureResult,
+    entries: Sequence[Tuple[str, Any, ScenarioConfig]],
+) -> FigureResult:
+    """Run a whole figure's ``(series, x, config)`` entries as one batch.
+
+    The batch goes to the default executor in one call -- the unit of
+    parallelism -- and the points are added to ``figure`` in declaration
+    order, keeping output identical to the sequential path.
+    """
+    results = _execute([config for _, _, config in entries])
+    for (series_name, x, _), result in zip(entries, results):
+        figure.add(series_name, _point(result, x))
+    return figure

@@ -18,7 +18,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures.common import (
     PAPER_MAPS,
     FigureResult,
-    run_series_point,
+    run_series_points,
 )
 from repro.schemes.thresholds import (
     FIG5A_SEQUENCES,
@@ -47,29 +47,32 @@ def run_5a(
     maps: Sequence[int] = PAPER_MAPS, num_broadcasts: int = 50, seed: int = 1
 ) -> FigureResult:
     """Slope candidates (Fig. 5a)."""
-    result = FigureResult("Fig. 5a: C(n) slope before n1", "map")
+    entries = []
     for name, seq in FIG5A_SEQUENCES.items():
         fn = counter_sequence(seq, name=name)
         for units in maps:
-            result.add(
-                name, run_series_point(_ac_config(fn, units, num_broadcasts, seed), units)
+            entries.append(
+                (name, units, _ac_config(fn, units, num_broadcasts, seed))
             )
-    return result
+    return run_series_points(
+        FigureResult("Fig. 5a: C(n) slope before n1", "map"), entries
+    )
 
 
 def run_5b(
     maps: Sequence[int] = PAPER_MAPS, num_broadcasts: int = 50, seed: int = 1
 ) -> FigureResult:
     """Cap point n1 candidates (Fig. 5b)."""
-    result = FigureResult("Fig. 5b: C(n) cap point n1", "map")
+    entries = []
     for n1, seq in FIG5B_SEQUENCES.items():
         fn = counter_sequence(seq, name=f"n1={n1}")
         for units in maps:
-            result.add(
-                f"n1={n1}",
-                run_series_point(_ac_config(fn, units, num_broadcasts, seed), units),
+            entries.append(
+                (f"n1={n1}", units, _ac_config(fn, units, num_broadcasts, seed))
             )
-    return result
+    return run_series_points(
+        FigureResult("Fig. 5b: C(n) cap point n1", "map"), entries
+    )
 
 
 def run_5c(
@@ -79,27 +82,29 @@ def run_5c(
     seed: int = 1,
 ) -> FigureResult:
     """Floor point n2 candidates with linear decrease, n1 fixed at 4 (Fig. 5c)."""
-    result = FigureResult("Fig. 5c: C(n) floor point n2", "map")
+    entries = []
     for n2 in n2_values:
         fn = make_counter_threshold(n1=4, n2=n2, shape="linear")
         for units in maps:
-            result.add(
-                f"n2={n2}",
-                run_series_point(_ac_config(fn, units, num_broadcasts, seed), units),
+            entries.append(
+                (f"n2={n2}", units, _ac_config(fn, units, num_broadcasts, seed))
             )
-    return result
+    return run_series_points(
+        FigureResult("Fig. 5c: C(n) floor point n2", "map"), entries
+    )
 
 
 def run_5d(
     maps: Sequence[int] = PAPER_MAPS, num_broadcasts: int = 50, seed: int = 1
 ) -> FigureResult:
     """Mid-curve shapes between n1=4 and n2=12 (Fig. 5d / Fig. 6)."""
-    result = FigureResult("Fig. 5d: C(n) mid-curve shape", "map")
+    entries = []
     for shape in MIDCURVE_SHAPES:
         fn = make_counter_threshold(n1=4, n2=12, shape=shape)
         for units in maps:
-            result.add(
-                shape,
-                run_series_point(_ac_config(fn, units, num_broadcasts, seed), units),
+            entries.append(
+                (shape, units, _ac_config(fn, units, num_broadcasts, seed))
             )
-    return result
+    return run_series_points(
+        FigureResult("Fig. 5d: C(n) mid-curve shape", "map"), entries
+    )

@@ -14,7 +14,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures.common import (
     PAPER_MAPS,
     FigureResult,
-    run_series_point,
+    run_series_points,
 )
 
 __all__ = ["run", "FIXED_THRESHOLDS"]
@@ -28,23 +28,33 @@ def run(
     seed: int = 1,
     fixed_thresholds: Sequence[int] = FIXED_THRESHOLDS,
 ) -> FigureResult:
-    result = FigureResult("Fig. 7: AC vs fixed counter", "map")
-    for threshold in fixed_thresholds:
-        for units in maps:
-            config = ScenarioConfig(
+    entries = [
+        (
+            f"C={threshold}",
+            units,
+            ScenarioConfig(
                 scheme="counter",
                 scheme_params={"threshold": threshold},
                 map_units=units,
                 num_broadcasts=num_broadcasts,
                 seed=seed,
-            )
-            result.add(f"C={threshold}", run_series_point(config, units))
-    for units in maps:
-        config = ScenarioConfig(
-            scheme="adaptive-counter",
-            map_units=units,
-            num_broadcasts=num_broadcasts,
-            seed=seed,
+            ),
         )
-        result.add("AC", run_series_point(config, units))
-    return result
+        for threshold in fixed_thresholds
+        for units in maps
+    ] + [
+        (
+            "AC",
+            units,
+            ScenarioConfig(
+                scheme="adaptive-counter",
+                map_units=units,
+                num_broadcasts=num_broadcasts,
+                seed=seed,
+            ),
+        )
+        for units in maps
+    ]
+    return run_series_points(
+        FigureResult("Fig. 7: AC vs fixed counter", "map"), entries
+    )

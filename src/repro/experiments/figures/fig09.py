@@ -13,7 +13,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures.common import (
     PAPER_MAPS,
     FigureResult,
-    run_series_point,
+    run_series_points,
 )
 from repro.schemes.thresholds import make_location_threshold
 
@@ -35,10 +35,9 @@ def run(
     num_broadcasts: int = 50,
     seed: int = 1,
 ) -> FigureResult:
-    result = FigureResult("Fig. 9: A(n) candidates", "map")
+    entries = []
     for n1, n2 in pairs:
         fn = make_location_threshold(n1=n1, n2=n2)
-        name = f"({n1},{n2})"
         for units in maps:
             config = ScenarioConfig(
                 scheme="adaptive-location",
@@ -47,5 +46,7 @@ def run(
                 num_broadcasts=num_broadcasts,
                 seed=seed,
             )
-            result.add(name, run_series_point(config, units))
-    return result
+            entries.append((f"({n1},{n2})", units, config))
+    return run_series_points(
+        FigureResult("Fig. 9: A(n) candidates", "map"), entries
+    )

@@ -14,7 +14,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures.common import (
     PAPER_MAPS,
     FigureResult,
-    run_series_point,
+    run_series_points,
 )
 
 __all__ = ["run", "FIXED_THRESHOLDS"]
@@ -28,23 +28,33 @@ def run(
     seed: int = 1,
     fixed_thresholds: Sequence[float] = FIXED_THRESHOLDS,
 ) -> FigureResult:
-    result = FigureResult("Fig. 10: AL vs fixed location", "map")
-    for threshold in fixed_thresholds:
-        for units in maps:
-            config = ScenarioConfig(
+    entries = [
+        (
+            f"A={threshold}",
+            units,
+            ScenarioConfig(
                 scheme="location",
                 scheme_params={"threshold": threshold},
                 map_units=units,
                 num_broadcasts=num_broadcasts,
                 seed=seed,
-            )
-            result.add(f"A={threshold}", run_series_point(config, units))
-    for units in maps:
-        config = ScenarioConfig(
-            scheme="adaptive-location",
-            map_units=units,
-            num_broadcasts=num_broadcasts,
-            seed=seed,
+            ),
         )
-        result.add("AL", run_series_point(config, units))
-    return result
+        for threshold in fixed_thresholds
+        for units in maps
+    ] + [
+        (
+            "AL",
+            units,
+            ScenarioConfig(
+                scheme="adaptive-location",
+                map_units=units,
+                num_broadcasts=num_broadcasts,
+                seed=seed,
+            ),
+        )
+        for units in maps
+    ]
+    return run_series_points(
+        FigureResult("Fig. 10: AL vs fixed location", "map"), entries
+    )

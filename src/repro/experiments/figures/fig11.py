@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.figures.common import FigureResult, run_series_point
+from repro.experiments.figures.common import FigureResult, run_series_points
 from repro.net.host import HelloConfig
 
 __all__ = ["run", "PAPER_HELLO_INTERVALS", "PAPER_SPEEDS", "PAPER_FIG11_MAPS"]
@@ -32,17 +32,26 @@ def run(
     """One :class:`FigureResult` per map panel; series keyed by interval."""
     panels: Dict[int, FigureResult] = {}
     for units in maps:
-        panel = FigureResult(f"Fig. 11 ({units}x{units}): NC vs hello interval", "km/h")
-        for interval in hello_intervals:
-            for speed in speeds:
-                config = ScenarioConfig(
+        entries = [
+            (
+                f"hello={interval:g}s",
+                speed,
+                ScenarioConfig(
                     scheme="neighbor-coverage",
                     map_units=units,
                     max_speed_kmh=speed,
                     hello=HelloConfig(interval=interval),
                     num_broadcasts=num_broadcasts,
                     seed=seed,
-                )
-                panel.add(f"hello={interval:g}s", run_series_point(config, speed))
-        panels[units] = panel
+                ),
+            )
+            for interval in hello_intervals
+            for speed in speeds
+        ]
+        panels[units] = run_series_points(
+            FigureResult(
+                f"Fig. 11 ({units}x{units}): NC vs hello interval", "km/h"
+            ),
+            entries,
+        )
     return panels

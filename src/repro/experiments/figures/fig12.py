@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Sequence
 
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.figures.common import FigureResult, run_series_point
+from repro.experiments.figures.common import FigureResult, run_series_points
 from repro.net.host import HelloConfig
 
 __all__ = ["run", "PAPER_SPEEDS", "PAPER_FIG12_MAPS", "DHI_CONFIG"]
@@ -31,16 +31,22 @@ def run(
     seed: int = 1,
 ) -> FigureResult:
     """Series per map; x = speed; ``hellos`` carries panel (b)'s count."""
-    result = FigureResult("Fig. 12: NC-DHI vs speed", "km/h")
-    for units in maps:
-        for speed in speeds:
-            config = ScenarioConfig(
+    entries = [
+        (
+            f"{units}x{units}",
+            speed,
+            ScenarioConfig(
                 scheme="neighbor-coverage",
                 map_units=units,
                 max_speed_kmh=speed,
                 hello=DHI_CONFIG,
                 num_broadcasts=num_broadcasts,
                 seed=seed,
-            )
-            result.add(f"{units}x{units}", run_series_point(config, speed))
-    return result
+            ),
+        )
+        for units in maps
+        for speed in speeds
+    ]
+    return run_series_points(
+        FigureResult("Fig. 12: NC-DHI vs speed", "km/h"), entries
+    )

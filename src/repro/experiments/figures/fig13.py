@@ -19,7 +19,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures.common import (
     PAPER_MAPS,
     FigureResult,
-    run_series_point,
+    run_series_points,
 )
 from repro.net.host import HelloConfig
 
@@ -52,16 +52,22 @@ def run(
     """Series per scheme; x = map size.  Each (series, x) is one scatter
     point of the corresponding panel."""
     lineup = lineup or SCHEME_LINEUP
-    result = FigureResult("Fig. 13: overall comparison", "map")
-    for label, (scheme, params, hello) in lineup.items():
-        for units in maps:
-            config = ScenarioConfig(
+    entries = [
+        (
+            label,
+            units,
+            ScenarioConfig(
                 scheme=scheme,
                 scheme_params=params,
                 map_units=units,
                 hello=hello,
                 num_broadcasts=num_broadcasts,
                 seed=seed,
-            )
-            result.add(label, run_series_point(config, units))
-    return result
+            ),
+        )
+        for label, (scheme, params, hello) in lineup.items()
+        for units in maps
+    ]
+    return run_series_points(
+        FigureResult("Fig. 13: overall comparison", "map"), entries
+    )

@@ -71,6 +71,11 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
         },
         "events_processed": result.events_processed,
         "end_time": result.end_time,
+        "perf": {
+            "wall_time": result.wall_time,
+            "events_per_sec": result.events_per_sec,
+            "from_cache": result.from_cache,
+        },
     }
 
 

@@ -1,0 +1,355 @@
+"""Parallel, cached experiment execution.
+
+The paper's figures aggregate thousands of *independent* simulation runs
+(one per seed per sweep point), which the sequential :func:`replicate` /
+:func:`run_sweep` pair executes one at a time on one core.  This module
+fans those runs out across a process pool and memoizes finished runs on
+disk, so regenerating a figure only simulates the seeds it has not seen.
+
+Guarantees
+----------
+- **Determinism**: results come back in submission order regardless of
+  which worker finished first, so confidence intervals are bit-identical
+  to the sequential path (simulations themselves are seed-deterministic).
+- **Caching**: a result is keyed by a stable SHA-256 digest of the full
+  :class:`ScenarioConfig` plus a code-relevant version tag
+  (:data:`RESULT_CACHE_VERSION` and the package version), so stale caches
+  cannot survive a semantics change -- bump the tag when simulation
+  behavior changes.
+- **Graceful fallback**: configs that cannot be pickled or digested (e.g.
+  a ``threshold_fn`` callable in ``scheme_params``) run inline in the
+  parent process and skip the cache; everything else parallelizes.
+
+Example::
+
+    runner = ParallelRunner(max_workers=4, cache_dir=".repro-cache")
+    replicated = runner.replicate(config, seeds=[1, 2, 3, 4])
+    print(runner.perf)   # runs, cache hit-rate, events/sec, wall time
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.replication import (
+    ReplicatedResult,
+    aggregate,
+    check_seeds,
+)
+from repro.experiments.runner import SimulationResult, run_broadcast_simulation
+
+__all__ = [
+    "RESULT_CACHE_VERSION",
+    "CacheKeyError",
+    "ResultCache",
+    "RunnerPerf",
+    "ParallelRunner",
+    "config_digest",
+]
+
+#: Bump when simulation semantics change in a way that invalidates cached
+#: results (new RNG consumption order, metric definition changes, ...).
+RESULT_CACHE_VERSION = "1"
+
+
+class CacheKeyError(ValueError):
+    """The config contains values with no stable serial form (callables,
+    exotic objects) and therefore cannot be cached."""
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-serializable canonical form.
+
+    Dataclasses become ``[type-name, sorted field pairs]``, tuples become
+    lists, frozensets sorted lists.  Anything without an obvious stable
+    form (functions, arbitrary objects) raises :class:`CacheKeyError`.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [
+            type(value).__name__,
+            [
+                [f.name, _canonical(getattr(value, f.name))]
+                for f in dataclasses.fields(value)
+            ],
+        ]
+    if isinstance(value, dict):
+        try:
+            items = sorted(value.items())
+        except TypeError as exc:
+            raise CacheKeyError(f"unorderable dict keys in {value!r}") from exc
+        return {"__dict__": [[str(k), _canonical(v)] for k, v in items]}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(_canonical(v) for v in value)}
+    raise CacheKeyError(
+        f"cannot build a stable cache key from {type(value).__name__}: "
+        f"{value!r}"
+    )
+
+
+def config_digest(config: ScenarioConfig) -> str:
+    """Stable hex digest identifying a scenario *and* the code version.
+
+    Raises :class:`CacheKeyError` when the config holds uncacheable values
+    (e.g. callables in ``scheme_params``).
+    """
+    try:
+        from repro import __version__ as package_version
+    except ImportError:  # pragma: no cover - package always has a version
+        package_version = "unknown"
+    payload = {
+        "cache_version": RESULT_CACHE_VERSION,
+        "package_version": package_version,
+        "config": _canonical(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of pickled :class:`SimulationResult`\\ s by digest."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self._dir = Path(cache_dir)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def _path(self, digest: str) -> Path:
+        return self._dir / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[SimulationResult]:
+        """The cached result, or ``None`` on miss / unreadable entry."""
+        path = self._path(digest)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        result.from_cache = True
+        return result
+
+    def put(self, digest: str, result: SimulationResult) -> None:
+        """Store atomically (tmp + rename) so concurrent runners never
+        observe a torn entry."""
+        fd, tmp = tempfile.mkstemp(dir=str(self._dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(digest))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._dir.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for path in self._dir.glob("*.pkl"):
+            path.unlink()
+            n += 1
+        return n
+
+
+@dataclass
+class RunnerPerf:
+    """Perf counters accumulated across a :class:`ParallelRunner`'s life."""
+
+    runs: int = 0  # results returned (simulated + cached)
+    simulated: int = 0
+    cache_hits: int = 0
+    uncacheable: int = 0  # configs that could not be digested
+    wall_time: float = 0.0  # parent-side wall time across run_many calls
+    sim_wall_time: float = 0.0  # summed per-run wall time (worker side)
+    events: int = 0  # scheduler events across simulated runs
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over lookups (simulated + hits); 0.0 before any run."""
+        attempts = self.cache_hits + self.simulated
+        return self.cache_hits / attempts if attempts else 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulated events per summed simulation wall-second."""
+        if self.sim_wall_time <= 0.0:
+            return 0.0
+        return self.events / self.sim_wall_time
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "runs": self.runs,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "uncacheable": self.uncacheable,
+            "wall_time": self.wall_time,
+            "sim_wall_time": self.sim_wall_time,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+        }
+
+
+def _run_config(config: ScenarioConfig) -> SimulationResult:
+    """Process-pool entry point (must be a module-level callable)."""
+    return run_broadcast_simulation(config)
+
+
+class ParallelRunner:
+    """Fan simulation runs across worker processes, with an on-disk cache.
+
+    ``max_workers=None`` uses ``os.cpu_count()``; ``max_workers=1`` (or a
+    single-run batch) executes inline with no pool overhead.  Results are
+    always returned in submission order, so anything computed from them is
+    bit-identical to the sequential path.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.cache = (
+            ResultCache(cache_dir) if (cache_dir and use_cache) else None
+        )
+        self.perf = RunnerPerf()
+
+    # ------------------------------------------------------------- core
+
+    def run_many(self, configs: Sequence[ScenarioConfig]) -> List[SimulationResult]:
+        """Run every config, preserving order; cache-hit where possible."""
+        start = time.perf_counter()
+        configs = list(configs)
+        results: List[Optional[SimulationResult]] = [None] * len(configs)
+        digests: List[Optional[str]] = [None] * len(configs)
+
+        to_run: List[int] = []
+        for i, config in enumerate(configs):
+            digest = None
+            if self.cache is not None:
+                try:
+                    digest = config_digest(config)
+                except CacheKeyError:
+                    self.perf.uncacheable += 1
+            digests[i] = digest
+            cached = self.cache.get(digest) if digest is not None else None
+            if cached is not None:
+                results[i] = cached
+                self.perf.cache_hits += 1
+            else:
+                to_run.append(i)
+
+        for i, result in zip(to_run, self._execute([configs[i] for i in to_run])):
+            results[i] = result
+            self.perf.simulated += 1
+            self.perf.events += result.events_processed
+            self.perf.sim_wall_time += result.wall_time
+            if self.cache is not None and digests[i] is not None:
+                self.cache.put(digests[i], result)
+
+        self.perf.runs += len(configs)
+        self.perf.wall_time += time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    def _execute(
+        self, configs: List[ScenarioConfig]
+    ) -> Iterable[SimulationResult]:
+        """Simulate ``configs`` (order-preserving), pooling when it pays."""
+        workers = self.max_workers or os.cpu_count() or 1
+        workers = min(workers, len(configs))
+        if workers <= 1:
+            return [run_broadcast_simulation(c) for c in configs]
+
+        poolable: List[int] = []
+        inline: List[int] = []
+        for i, config in enumerate(configs):
+            try:
+                pickle.dumps(config)
+                poolable.append(i)
+            except Exception:
+                inline.append(i)
+
+        results: List[Optional[SimulationResult]] = [None] * len(configs)
+        if len(poolable) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for i, result in zip(
+                    poolable, pool.map(_run_config, [configs[i] for i in poolable])
+                ):
+                    results[i] = result
+        else:
+            inline = sorted(inline + poolable)
+        for i in inline:
+            results[i] = run_broadcast_simulation(configs[i])
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------ high level
+
+    def replicate(
+        self,
+        config: ScenarioConfig,
+        seeds: Sequence[int],
+        confidence: float = 0.95,
+    ) -> ReplicatedResult:
+        """Parallel drop-in for :func:`repro.experiments.replication.replicate`.
+
+        Same aggregation over the same per-seed results in the same order,
+        so the estimates are bit-identical to the sequential path.
+        """
+        check_seeds(seeds)
+        results = self.run_many(
+            [config.with_overrides(seed=seed) for seed in seeds]
+        )
+        return aggregate(config, results, confidence)
+
+    def run_sweep(
+        self,
+        configs: Iterable[ScenarioConfig],
+        progress: Optional[
+            Callable[[ScenarioConfig, SimulationResult], None]
+        ] = None,
+    ) -> List[SimulationResult]:
+        """Parallel drop-in for :func:`repro.experiments.runner.run_sweep`.
+
+        ``progress`` fires in submission order after all runs complete (a
+        pool cannot stream strictly ordered completions without stalling).
+        """
+        configs = list(configs)
+        results = self.run_many(configs)
+        if progress is not None:
+            for config, result in zip(configs, results):
+                progress(config, result)
+        return results

@@ -18,7 +18,13 @@ from scipy import stats as scipy_stats
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import SimulationResult, run_broadcast_simulation
 
-__all__ = ["MetricEstimate", "ReplicatedResult", "replicate"]
+__all__ = [
+    "MetricEstimate",
+    "ReplicatedResult",
+    "aggregate",
+    "check_seeds",
+    "replicate",
+]
 
 
 @dataclass(frozen=True)
@@ -45,7 +51,10 @@ class MetricEstimate:
     def of(
         cls, values: Sequence[float], confidence: float = 0.95
     ) -> Optional["MetricEstimate"]:
-        clean = [v for v in values if not math.isnan(v)]
+        # isfinite, not just not-isnan: one +/-inf sample (e.g. latency of a
+        # replication where no broadcast completed) would otherwise poison
+        # the mean and CI of every finite replication.
+        clean = [v for v in values if math.isfinite(v)]
         if not clean:
             return None
         n = len(clean)
@@ -78,6 +87,34 @@ class ReplicatedResult:
         )
 
 
+def aggregate(
+    config: ScenarioConfig,
+    results: List[SimulationResult],
+    confidence: float = 0.95,
+) -> ReplicatedResult:
+    """Fold per-seed results into a :class:`ReplicatedResult`.
+
+    The estimates depend only on the order-independent multiset of sample
+    values, but ``results`` is kept in caller order so a parallel runner
+    that preserves seed order reproduces the sequential output exactly.
+    """
+    return ReplicatedResult(
+        config=config,
+        results=results,
+        re=MetricEstimate.of([r.re for r in results], confidence),
+        srb=MetricEstimate.of([r.srb for r in results], confidence),
+        latency=MetricEstimate.of([r.latency for r in results], confidence),
+    )
+
+
+def check_seeds(seeds: Sequence[int]) -> None:
+    """Shared validation for replication seed lists."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"duplicate seeds in {seeds}")
+
+
 def replicate(
     config: ScenarioConfig,
     seeds: Sequence[int],
@@ -86,20 +123,12 @@ def replicate(
     """Run ``config`` once per seed and aggregate RE/SRB/latency.
 
     The ``seed`` field of ``config`` is ignored; each replication uses one
-    entry of ``seeds``.
+    entry of ``seeds``.  (:class:`repro.experiments.parallel.ParallelRunner`
+    offers the same aggregation fanned out over worker processes.)
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
-    if len(set(seeds)) != len(seeds):
-        raise ValueError(f"duplicate seeds in {seeds}")
+    check_seeds(seeds)
     results = [
         run_broadcast_simulation(config.with_overrides(seed=seed))
         for seed in seeds
     ]
-    return ReplicatedResult(
-        config=config,
-        results=results,
-        re=MetricEstimate.of([r.re for r in results], confidence),
-        srb=MetricEstimate.of([r.srb for r in results], confidence),
-        latency=MetricEstimate.of([r.latency for r in results], confidence),
-    )
+    return aggregate(config, results, confidence)

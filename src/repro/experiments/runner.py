@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
@@ -39,6 +40,20 @@ class SimulationResult:
     fault_trace: List[FaultEventRecord] = field(default_factory=list)
     #: Broadcast requests skipped because the drawn source was down.
     broadcasts_skipped: int = 0
+    #: Host wall-clock seconds this run took (build + simulate + summarize).
+    #: Perf metadata: excluded from value equality.
+    wall_time: float = field(default=0.0, compare=False)
+    #: Whether this result was served from the on-disk result cache
+    #: (see :mod:`repro.experiments.parallel`) instead of simulated.
+    #: Provenance metadata: excluded from value equality.
+    from_cache: bool = field(default=False, compare=False)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Scheduler events executed per wall-clock second (perf counter)."""
+        if self.wall_time <= 0.0:
+            return math.nan
+        return self.events_processed / self.wall_time
 
     @property
     def re(self) -> float:
@@ -93,6 +108,7 @@ def run_broadcast_simulation(
     paper.  Traffic begins after a warm-up long enough for neighbor tables
     to populate.
     """
+    wall_start = time.perf_counter()
     scheduler = Scheduler()
     streams = RandomStreams(config.seed)
     metrics = MetricsCollector(store_reachable_sets=config.store_reachable_sets)
@@ -166,6 +182,7 @@ def run_broadcast_simulation(
         ),
         fault_trace=list(injector.trace) if injector is not None else [],
         broadcasts_skipped=metrics.broadcasts_skipped,
+        wall_time=time.perf_counter() - wall_start,
     )
 
 

@@ -166,6 +166,26 @@ class MetricsCollector:
         self.fault_events: List[FaultEventRecord] = []
         self.broadcasts_skipped = 0
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality over everything recorded.
+
+        Lets a :class:`~repro.experiments.runner.SimulationResult` that
+        round-tripped through the on-disk result cache compare equal to the
+        original.
+        """
+        if not isinstance(other, MetricsCollector):
+            return NotImplemented
+        return (
+            self.records == other.records
+            and self.hello_packets_sent == other.hello_packets_sent
+            and self.hello_counts_by_host == other.hello_counts_by_host
+            and self.store_reachable_sets == other.store_reachable_sets
+            and self.fault_events == other.fault_events
+            and self.broadcasts_skipped == other.broadcasts_skipped
+        )
+
+    __hash__ = None  # mutable container; identity hashing would be a trap
+
     # ----------------------------------------------------------- events
 
     def on_originate(

@@ -7,7 +7,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.connectivity import reachable_set
 from repro.mobility.map import RectMap
-from repro.mobility.models import MobilityModel, make_mobility
+from repro.mobility.models import MobilityModel, kmh_to_ms, make_mobility
 from repro.net.host import HelloConfig, MobileHost
 from repro.net.packets import BroadcastPacket
 from repro.phy.capture import CaptureModel
@@ -53,9 +53,18 @@ class Network:
         self.world = world
         self.metrics = metrics
         self.hosts: List[MobileHost] = []
+        # A custom mobility_factory gives no speed guarantee, so the
+        # channel's spatial index stays off (full scans); the built-in
+        # models are bounded by max_speed_kmh (exactly 0 for "static").
+        if mobility_factory is not None:
+            speed_bound = None
+        elif mobility == "static":
+            speed_bound = 0.0
+        else:
+            speed_bound = kmh_to_ms(max_speed_kmh)
         self.channel = Channel(
             scheduler, params, self._position_of, drop_predicate,
-            capture=capture,
+            capture=capture, max_speed_ms=speed_bound,
         )
         self._seq = 0
 

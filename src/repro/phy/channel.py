@@ -46,12 +46,28 @@ runtime.  :meth:`Channel.abort_transmission` truncates an in-flight frame
 ever being delivered, and :meth:`Channel.detach` aborts the host's own
 transmission first so a dead radio can neither KeyError the end-of-frame
 event nor deliver from beyond the grave.
+
+Neighbor indexing
+-----------------
+With a ``max_speed_ms`` bound the channel maintains a uniform spatial grid
+(cell side = ``radio_radius``) over host positions, so finding a frame's
+receivers scans a few cells instead of every attached host.  The grid is a
+*pruning* structure only -- every candidate still gets the exact distance
+check against its live position -- so results are bit-identical to the full
+scan.  Correctness of the pruning: a snapshot taken at time ``t0`` can be
+off by at most ``max_speed_ms * (now - t0)`` per host, so queries inflate
+the search radius by that slop and the grid is rebuilt before the slop
+exceeds half a cell.  Static networks (speed bound 0) never rebuild.
+Candidates are iterated in attach order -- the same order the full scan
+uses -- so stateful drop predicates (fault-injected loss processes) draw
+their RNG in an identical sequence either way.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.geometry.points import distance_sq
 from repro.phy.capture import CaptureModel
@@ -90,6 +106,8 @@ class ChannelStats:
     injected_drops: int = 0
     aborted_frames: int = 0  # transmissions truncated mid-frame (crash)
     truncated_receptions: int = 0  # receptions scrubbed by a sender abort
+    #: Spatial-grid neighbor index rebuilds (0 when the index is disabled).
+    grid_rebuilds: int = 0
     #: Per-host seconds spent transmitting / receiving energy.  A standard
     #: first-order energy proxy: radio energy ~ a*tx_airtime + b*rx_airtime.
     tx_airtime: Dict[int, float] = field(default_factory=dict)
@@ -147,6 +165,11 @@ class _Transmission:
 class Channel:
     """Unit-disk broadcast medium with receiver-side collisions."""
 
+    #: Grid staleness bound, as a fraction of the radio radius: rebuild
+    #: before any host can have drifted further than this from its snapshot
+    #: cell.  Smaller = more rebuilds, larger = wider query rings.
+    GRID_MAX_DRIFT_FRACTION = 0.5
+
     def __init__(
         self,
         scheduler: Scheduler,
@@ -155,6 +178,7 @@ class Channel:
         drop_predicate: Optional[Callable[[int, int], bool]] = None,
         tracer: Optional[Tracer] = None,
         capture: Optional["CaptureModel"] = None,
+        max_speed_ms: Optional[float] = None,
     ) -> None:
         self._scheduler = scheduler
         self._params = params
@@ -166,6 +190,13 @@ class Channel:
         self._active: Dict[int, _Transmission] = {}
         self._incoming: Dict[int, Dict[int, _Reception]] = {}
         self.stats = ChannelStats()
+        # Spatial-grid neighbor index (enabled by a finite speed bound).
+        self._attach_order: Dict[int, int] = {}
+        self._attach_counter = itertools.count()
+        self._grid: Optional[Dict[Tuple[int, int], List[int]]] = None
+        self._grid_cell_of: Dict[int, Tuple[int, int]] = {}
+        self._grid_time = 0.0
+        self.set_speed_bound(max_speed_ms)
 
     @property
     def params(self) -> PhyParams:
@@ -181,12 +212,87 @@ class Channel:
     ) -> None:
         self._drop_predicate = predicate
 
+    # ------------------------------------------- spatial neighbor index
+
+    @property
+    def speed_bound_ms(self) -> Optional[float]:
+        """Upper bound on host speed (m/s) backing the grid index, or
+        ``None`` when the index is disabled (full scans)."""
+        return self._max_speed_ms
+
+    def set_speed_bound(self, max_speed_ms: Optional[float]) -> None:
+        """Enable the grid index with a speed bound, or disable it (None).
+
+        The bound must dominate every host's actual speed; a violated bound
+        can silently miss receivers.  Callers that cannot bound speed (e.g.
+        externally supplied mobility models) must pass ``None``.
+        """
+        if max_speed_ms is not None and max_speed_ms < 0:
+            raise ValueError(f"negative speed bound {max_speed_ms}")
+        self._max_speed_ms = max_speed_ms
+        self._grid = None
+        self._grid_cell_of = {}
+
+    def _cell_key(self, position: Tuple[float, float]) -> Tuple[int, int]:
+        cell = self._params.radio_radius
+        return (int(position[0] // cell), int(position[1] // cell))
+
+    def _rebuild_grid(self) -> None:
+        grid: Dict[Tuple[int, int], List[int]] = {}
+        cell_of: Dict[int, Tuple[int, int]] = {}
+        for host_id in self._listeners:
+            key = self._cell_key(self._position_of(host_id))
+            grid.setdefault(key, []).append(host_id)
+            cell_of[host_id] = key
+        self._grid = grid
+        self._grid_cell_of = cell_of
+        self._grid_time = self._scheduler.now
+        self.stats.grid_rebuilds += 1
+
+    def _candidate_ids(self, center: Tuple[float, float]) -> Iterable[int]:
+        """Hosts possibly within radio range of ``center`` right now.
+
+        A superset of the true in-range set, in attach order (the caller
+        does the exact distance check).  Falls back to all listeners when
+        the grid is disabled.
+        """
+        if self._max_speed_ms is None:
+            return self._listeners
+        now = self._scheduler.now
+        radius = self._params.radio_radius
+        max_drift = self.GRID_MAX_DRIFT_FRACTION * radius
+        if (
+            self._grid is None
+            or self._max_speed_ms * (now - self._grid_time) > max_drift
+        ):
+            self._rebuild_grid()
+        slop = self._max_speed_ms * (now - self._grid_time)
+        reach = radius + slop
+        cell = radius
+        cx, cy = int(center[0] // cell), int(center[1] // cell)
+        ring = int(reach // cell) + 1
+        grid = self._grid
+        ids: List[int] = []
+        for ix in range(cx - ring, cx + ring + 1):
+            for iy in range(cy - ring, cy + ring + 1):
+                bucket = grid.get((ix, iy))
+                if bucket:
+                    ids.extend(bucket)
+        ids.sort(key=self._attach_order.__getitem__)
+        return ids
+
+    # ----------------------------------------------------- attach/detach
+
     def attach(self, host_id: int, listener: RadioListener) -> None:
         """Register a host's radio.  Host ids must be unique."""
         if host_id in self._listeners:
             raise ValueError(f"host {host_id} already attached")
         self._listeners[host_id] = listener
         self._incoming[host_id] = {}
+        self._attach_order[host_id] = next(self._attach_counter)
+        # The new host's position may not be queryable yet (hosts attach
+        # during construction), so invalidate instead of inserting.
+        self._grid = None
 
     def detach(self, host_id: int) -> None:
         """Remove a host (e.g. crash / going offline).
@@ -200,6 +306,11 @@ class Channel:
             self.abort_transmission(host_id)
         self._listeners.pop(host_id, None)
         self._incoming.pop(host_id, None)
+        self._attach_order.pop(host_id, None)
+        if self._grid is not None:
+            key = self._grid_cell_of.pop(host_id, None)
+            if key is not None:
+                self._grid[key].remove(host_id)
 
     def abort_transmission(self, sender_id: int) -> bool:
         """Truncate ``sender_id``'s in-flight frame (radio crash / power-off).
@@ -256,7 +367,7 @@ class Channel:
         center = self._position_of(host_id)
         rr = self._params.radio_radius ** 2
         out = []
-        for other_id in self._listeners:
+        for other_id in self._candidate_ids(center):
             if other_id == host_id:
                 continue
             if distance_sq(center, self._position_of(other_id)) <= rr:
@@ -297,7 +408,7 @@ class Channel:
         self._active[sender_id] = tx
         newly_busy: List[int] = []
 
-        for host_id, listener in self._listeners.items():
+        for host_id in self._candidate_ids(sender_pos):
             if host_id == sender_id:
                 continue
             dist_sq = distance_sq(sender_pos, self._position_of(host_id))

@@ -33,7 +33,7 @@ class Event:
     only if it may need to :meth:`cancel` it.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_sched")
 
     def __init__(
         self,
@@ -49,13 +49,18 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sched: Optional["Scheduler"] = None
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it.
 
         Cancelling an already-fired or already-cancelled event is a no-op.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sched is not None:
+            self._sched._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -80,12 +85,23 @@ class Scheduler:
         sched.run()
     """
 
+    #: Heaps smaller than this are never compacted (compaction overhead
+    #: would dominate; a few dozen husks are harmless).
+    COMPACT_MIN_SIZE = 64
+
+    #: Largest magnitude of a negative delay attributed to float round-off
+    #: (e.g. ``deadline - now`` landing at ``-1e-18``) that :meth:`schedule`
+    #: silently clamps to 0 instead of raising.
+    NEGATIVE_DELAY_EPSILON = 1e-12
+
     def __init__(self) -> None:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._cancelled_in_queue = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -99,8 +115,50 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of queued events, including cancelled husks."""
+        """Number of queued events, including (not yet reclaimed) cancelled
+        husks.  Husks are compacted away whenever they outnumber live
+        events on a non-trivial heap, so this stays within 2x the live
+        event count (plus :data:`COMPACT_MIN_SIZE`)."""
         return len(self._queue)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled husks currently sitting in the queue."""
+        return self._cancelled_in_queue
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted (husk reclamation)."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """An event still in the queue was cancelled; maybe compact.
+
+        Compaction preserves ``(time, priority, seq)`` order exactly:
+        dropping entries and re-heapifying cannot reorder the remaining
+        events because ordering is a total order on those keys.
+        """
+        self._cancelled_in_queue += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        live = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled_in_queue = 0
+        self._compactions += 1
+
+    def _pop(self) -> Event:
+        """Pop the heap top, keeping the husk accounting consistent."""
+        event = heapq.heappop(self._queue)
+        event._sched = None
+        if event.cancelled:
+            self._cancelled_in_queue -= 1
+        return event
 
     def schedule_at(
         self,
@@ -119,6 +177,7 @@ class Scheduler:
                 f"cannot schedule at t={time} < now={self._now}"
             )
         event = Event(time, priority, next(self._seq), fn, args)
+        event._sched = self
         heapq.heappush(self._queue, event)
         return event
 
@@ -129,9 +188,17 @@ class Scheduler:
         *args: Any,
         priority: int = 0,
     ) -> Event:
-        """Schedule ``fn(*args)`` after ``delay`` seconds from now."""
+        """Schedule ``fn(*args)`` after ``delay`` seconds from now.
+
+        Delays in ``[-NEGATIVE_DELAY_EPSILON, 0)`` -- float round-off from
+        expressions like ``deadline - now`` -- are clamped to 0; anything
+        more negative is a real bug and raises :class:`SimulationError`.
+        """
         if delay < 0:
-            raise SimulationError(f"negative delay {delay}")
+            if delay >= -self.NEGATIVE_DELAY_EPSILON:
+                delay = 0.0
+            else:
+                raise SimulationError(f"negative delay {delay}")
         return self.schedule_at(self._now + delay, fn, *args, priority=priority)
 
     def run(self, until: Optional[float] = None) -> float:
@@ -149,7 +216,7 @@ class Scheduler:
                 event = self._queue[0]
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._queue)
+                self._pop()
                 if event.cancelled:
                     continue
                 self._now = event.time
@@ -167,7 +234,7 @@ class Scheduler:
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
         """
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = self._pop()
             if event.cancelled:
                 continue
             self._now = event.time
@@ -179,5 +246,5 @@ class Scheduler:
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            self._pop()
         return self._queue[0].time if self._queue else None

@@ -1,0 +1,208 @@
+"""Parallel execution layer: determinism, caching, perf accounting."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import (
+    CacheKeyError,
+    ParallelRunner,
+    ResultCache,
+    config_digest,
+)
+from repro.experiments.replication import replicate
+from repro.experiments.runner import run_broadcast_simulation, run_sweep
+from repro.faults.plan import ChurnProcess, FaultPlan
+from repro.schemes.thresholds import make_counter_threshold
+
+
+def small_config(**overrides):
+    base = dict(
+        scheme="adaptive-counter",
+        map_units=3,
+        num_hosts=40,
+        num_broadcasts=6,
+        seed=1,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def fault_config(**overrides):
+    return small_config(
+        faults=FaultPlan(churn=ChurnProcess(rate=0.01, downtime=5.0)),
+        **overrides,
+    )
+
+
+def assert_same_run(a, b):
+    """Bit-identical metrics, counters and fault traces."""
+    assert a.re == b.re
+    assert a.srb == b.srb
+    assert a.latency == b.latency
+    assert a.hellos == b.hellos
+    assert a.events_processed == b.events_processed
+    assert a.end_time == b.end_time
+    assert a.channel_stats.transmissions == b.channel_stats.transmissions
+    assert a.channel_stats.collisions == b.channel_stats.collisions
+    assert [(e.time, e.kind, e.host_id) for e in a.fault_trace] == [
+        (e.time, e.kind, e.host_id) for e in b.fault_trace
+    ]
+
+
+# ------------------------------------------------------------ determinism
+
+
+def test_replicate_matches_sequential():
+    config = small_config()
+    seeds = [1, 2, 3]
+    sequential = replicate(config, seeds=seeds)
+    parallel = ParallelRunner(max_workers=2).replicate(config, seeds=seeds)
+    assert parallel.re == sequential.re
+    assert parallel.srb == sequential.srb
+    assert parallel.latency == sequential.latency
+    for seq_run, par_run in zip(sequential.results, parallel.results):
+        assert_same_run(seq_run, par_run)
+
+
+def test_run_sweep_matches_sequential_with_faults():
+    configs = [fault_config(seed=s) for s in (1, 2)]
+    sequential = run_sweep(configs)
+    parallel = ParallelRunner(max_workers=2).run_sweep(configs)
+    assert len(parallel) == len(sequential)
+    for seq_run, par_run in zip(sequential, parallel):
+        assert_same_run(seq_run, par_run)
+
+
+def test_run_sweep_progress_fires_in_submission_order():
+    configs = [small_config(seed=s) for s in (1, 2, 3)]
+    seen = []
+    ParallelRunner(max_workers=2).run_sweep(
+        configs, progress=lambda c, r: seen.append(c.seed)
+    )
+    assert seen == [1, 2, 3]
+
+
+def test_unpicklable_config_runs_inline():
+    # threshold_fn closures cannot cross a process boundary; the runner
+    # must fall back to inline execution and still return a result.
+    config = small_config(
+        scheme_params={"threshold_fn": make_counter_threshold(n1=4, n2=12)}
+    )
+    with pytest.raises(Exception):
+        pickle.dumps(config)
+    results = ParallelRunner(max_workers=2).run_many([config, small_config()])
+    assert len(results) == 2
+    assert all(r.events_processed > 0 for r in results)
+
+
+# ----------------------------------------------------------------- cache
+
+
+def test_cache_round_trip_returns_equal_result(tmp_path):
+    config = fault_config()
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    fresh = runner.run_many([config])[0]
+    assert not fresh.from_cache
+    assert runner.perf.simulated == 1 and runner.perf.cache_hits == 0
+
+    warm = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    cached = warm.run_many([config])[0]
+    assert cached.from_cache
+    assert warm.perf.simulated == 0 and warm.perf.cache_hits == 1
+    assert warm.perf.cache_hit_rate == 1.0
+    # Value equality with both the fresh run and a from-scratch rerun.
+    assert cached == fresh
+    assert cached == run_broadcast_simulation(config)
+    assert_same_run(cached, fresh)
+
+
+def test_no_cache_flag_disables_lookup(tmp_path):
+    config = small_config()
+    ParallelRunner(max_workers=1, cache_dir=tmp_path).run_many([config])
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path, use_cache=False)
+    runner.run_many([config])
+    assert runner.perf.cache_hits == 0
+    assert runner.perf.simulated == 1
+
+
+def test_digest_distinguishes_configs_and_is_stable():
+    a, b = small_config(), small_config()
+    assert config_digest(a) == config_digest(b)
+    assert config_digest(a) != config_digest(small_config(seed=2))
+    assert config_digest(a) != config_digest(fault_config())
+
+
+def test_digest_rejects_callables():
+    config = small_config(
+        scheme_params={"threshold_fn": make_counter_threshold(n1=4, n2=12)}
+    )
+    with pytest.raises(CacheKeyError):
+        config_digest(config)
+
+
+def test_uncacheable_config_still_runs_and_is_counted(tmp_path):
+    config = small_config(
+        scheme_params={"threshold_fn": make_counter_threshold(n1=4, n2=12)}
+    )
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    result = runner.run_many([config])[0]
+    assert result.events_processed > 0
+    assert runner.perf.uncacheable == 1
+    assert len(runner.cache) == 0
+
+
+def test_cache_survives_corrupt_entry(tmp_path):
+    config = small_config()
+    digest = config_digest(config)
+    cache = ResultCache(tmp_path)
+    (tmp_path / f"{digest}.pkl").write_bytes(b"not a pickle")
+    assert cache.get(digest) is None
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    result = runner.run_many([config])[0]
+    assert not result.from_cache
+    # The corrupt entry was overwritten with a good one.
+    assert cache.get(digest) is not None
+
+
+def test_cache_clear(tmp_path):
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    runner.run_many([small_config(seed=s) for s in (1, 2)])
+    assert len(runner.cache) == 2
+    assert runner.cache.clear() == 2
+    assert len(runner.cache) == 0
+
+
+# ------------------------------------------------------------------ perf
+
+
+def test_perf_counters_accumulate():
+    runner = ParallelRunner(max_workers=1)
+    runner.run_many([small_config()])
+    runner.run_many([small_config(seed=2)])
+    perf = runner.perf
+    assert perf.runs == 2
+    assert perf.simulated == 2
+    assert perf.events > 0
+    assert perf.wall_time > 0.0
+    assert perf.sim_wall_time > 0.0
+    assert perf.events_per_sec > 0.0
+    assert perf.as_dict()["runs"] == 2
+
+
+def test_result_perf_fields_and_export():
+    from repro.experiments.io import result_to_dict
+
+    result = run_broadcast_simulation(small_config())
+    assert result.wall_time > 0.0
+    assert result.events_per_sec > 0.0
+    assert not result.from_cache
+    exported = result_to_dict(result)
+    assert exported["perf"]["wall_time"] == result.wall_time
+    assert exported["perf"]["from_cache"] is False
+
+
+def test_max_workers_validation():
+    with pytest.raises(ValueError):
+        ParallelRunner(max_workers=0)

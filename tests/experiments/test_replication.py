@@ -36,6 +36,17 @@ class TestMetricEstimate:
         assert MetricEstimate.of([math.nan, math.nan]) is None
         assert MetricEstimate.of([]) is None
 
+    def test_infinite_values_skipped(self):
+        # Regression: one infinite latency sample (a replication where no
+        # broadcast completed) used to poison the mean and CI.
+        estimate = MetricEstimate.of([0.5, math.inf, 0.7, -math.inf])
+        assert estimate.samples == 2
+        assert estimate.mean == pytest.approx(0.6)
+        assert math.isfinite(estimate.half_width)
+
+    def test_all_infinite_is_none(self):
+        assert MetricEstimate.of([math.inf, -math.inf]) is None
+
     def test_str_format(self):
         assert "+/-" in str(MetricEstimate.of([0.5, 0.6]))
 

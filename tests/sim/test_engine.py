@@ -62,6 +62,23 @@ def test_negative_delay_raises(scheduler):
         scheduler.schedule(-0.1, lambda: None)
 
 
+def test_tiny_negative_delay_clamps_to_zero(scheduler):
+    # Float round-off: deadline - now can land at -1e-18 even when the
+    # deadline is logically "now".  Such delays must not crash the run.
+    fired = []
+    scheduler.schedule(1.0, lambda: scheduler.schedule(-1e-18, fired.append, "ok"))
+    scheduler.run()
+    assert fired == ["ok"]
+    assert scheduler.now == 1.0
+
+
+def test_tiny_negative_delay_boundary(scheduler):
+    event = scheduler.schedule(-1e-12, lambda: None)
+    assert event.time == 0.0
+    with pytest.raises(SimulationError):
+        scheduler.schedule(-1.0000001e-12, lambda: None)
+
+
 def test_cancelled_event_does_not_fire(scheduler):
     fired = []
     event = scheduler.schedule(1.0, fired.append, "cancelled")
@@ -179,3 +196,58 @@ def test_reentrant_run_rejected(scheduler):
 def test_run_until_advances_clock_with_empty_queue(scheduler):
     scheduler.run(until=42.0)
     assert scheduler.now == 42.0
+
+
+# ---------------------------------------------------- husk compaction
+
+
+def test_cancelled_husks_are_reclaimed(scheduler):
+    """Heavy timer churn must not grow the heap unboundedly."""
+    live = scheduler.schedule(1e9, lambda: None)
+    high_water = 0
+    for i in range(10_000):
+        event = scheduler.schedule(1.0 + i * 1e-6, lambda: None)
+        event.cancel()
+        high_water = max(high_water, scheduler.pending)
+    # The heap never held more than ~COMPACT_MIN_SIZE husks at once.
+    assert high_water <= 2 * Scheduler.COMPACT_MIN_SIZE
+    assert scheduler.pending <= 2 * Scheduler.COMPACT_MIN_SIZE
+    assert scheduler.compactions > 0
+    assert not live.cancelled
+
+
+def test_compaction_preserves_event_order(scheduler):
+    fired = []
+    events = [
+        scheduler.schedule(float(i % 7) + 1.0, fired.append, i)
+        for i in range(400)
+    ]
+    for i, event in enumerate(events):
+        if i % 5 != 0:
+            event.cancel()  # 80% husks: forces at least one compaction
+    assert scheduler.compactions > 0
+    scheduler.run()
+    # Survivors fire in (time, seq) order, i.e. by time then insertion.
+    expected = [i for _, i in sorted((events[i].time, i) for i in range(0, 400, 5))]
+    assert fired == expected
+    assert scheduler.events_processed == len(expected)
+
+
+def test_cancel_after_fire_does_not_corrupt_accounting(scheduler):
+    event = scheduler.schedule(1.0, lambda: None)
+    scheduler.run()
+    event.cancel()  # no-op: already fired and out of the queue
+    assert scheduler.cancelled_pending == 0
+
+
+def test_compaction_keeps_fifo_ties(scheduler):
+    """Same-time events keep FIFO order across a forced compaction."""
+    fired = []
+    husks = [scheduler.schedule(0.5, lambda: None) for _ in range(200)]
+    for i in range(10):
+        scheduler.schedule(1.0, fired.append, i)
+    for husk in husks:
+        husk.cancel()  # triggers compaction mid-way
+    assert scheduler.compactions > 0
+    scheduler.run()
+    assert fired == list(range(10))
