@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-windows", action="store_true",
         help="with --faults: also print per-fault-window RE/SRB",
     )
+    _add_profile_arg(run_p)
+    run_p.add_argument(
+        "--perf", action="store_true",
+        help="also print the run's kernel counters "
+        "(events, cancellations, collisions, memo hit rates, ...)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument(
@@ -92,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--csv", metavar="PATH", default=None,
                        help="write the series to a CSV file")
     _add_exec_args(fig_p)
+    _add_profile_arg(fig_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="run a scheme x map grid and print RE/SRB"
@@ -108,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also dump every run to a JSON file")
     _add_exec_args(sweep_p)
     return parser
+
+
+def _add_profile_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--profile", type=int, nargs="?", const=25, default=None,
+        metavar="N",
+        help="profile the command with cProfile and print the top N "
+        "functions (default 25) by cumulative and internal time",
+    )
 
 
 def _add_exec_args(p: argparse.ArgumentParser) -> None:
@@ -187,8 +203,21 @@ def _run_single(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=faults,
     )
-    result = run_broadcast_simulation(config)
+    if args.profile is not None:
+        from repro.perf import format_profile, profiled
+
+        with profiled() as prof:
+            result = run_broadcast_simulation(config)
+        print(format_profile(prof, top_n=args.profile))
+    else:
+        result = run_broadcast_simulation(config)
     print(result.summary())
+    if getattr(args, "perf", False) and result.perf is not None:
+        print("\nkernel counters:")
+        for name, value in result.perf.as_dict().items():
+            print(f"  {name:<22} {value:>12,}")
+        print(f"  {'pos_hit_rate':<22} {result.perf.pos_hit_rate:>12.1%}")
+        print(f"  {'events_per_sec':<22} {result.events_per_sec:>12,.0f}")
     if getattr(args, "fault_windows", False) and result.fault_trace:
         print("\nfault trace:")
         for event in result.fault_trace:
@@ -215,7 +244,14 @@ def _run_figure(args: argparse.Namespace) -> int:
     runner = _make_executor(args)
     previous = set_default_executor(runner)
     try:
-        _dispatch_figure(args)
+        if args.profile is not None:
+            from repro.perf import format_profile, profiled
+
+            with profiled() as prof:
+                _dispatch_figure(args)
+            print(format_profile(prof, top_n=args.profile))
+        else:
+            _dispatch_figure(args)
     finally:
         set_default_executor(previous)
     if runner.perf.runs:

@@ -75,6 +75,9 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "wall_time": result.wall_time,
             "events_per_sec": result.events_per_sec,
             "from_cache": result.from_cache,
+            # Kernel counters (None for results predating the perf layer,
+            # e.g. old cache entries).
+            "kernel": result.perf.as_dict() if result.perf else None,
         },
     }
 

@@ -57,6 +57,7 @@ from repro.experiments.replication import (
     check_seeds,
 )
 from repro.experiments.runner import SimulationResult, run_broadcast_simulation
+from repro.perf import KernelPerf
 
 __all__ = [
     "RESULT_CACHE_VERSION",
@@ -144,15 +145,38 @@ class ResultCache:
         return self._dir / f"{digest}.pkl"
 
     def get(self, digest: str) -> Optional[SimulationResult]:
-        """The cached result, or ``None`` on miss / unreadable entry."""
+        """The cached result, or ``None`` on miss.
+
+        A corrupted or truncated entry (torn write, interrupted disk, a
+        pickle from an incompatible class layout, or a file that does not
+        hold a :class:`SimulationResult` at all) is treated as a miss:
+        the entry is deleted best-effort so the recomputed result can
+        take its slot, rather than erroring on every later lookup.
+        """
         path = self._path(digest)
         try:
             with path.open("rb") as fh:
                 result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Unpickling can fail in arbitrary ways on a torn entry
+            # (UnpicklingError, EOFError, AttributeError, ImportError,
+            # UnicodeDecodeError, ...): drop it and recompute.
+            self._discard(path)
+            return None
+        if not isinstance(result, SimulationResult):
+            self._discard(path)
             return None
         result.from_cache = True
         return result
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, digest: str, result: SimulationResult) -> None:
         """Store atomically (tmp + rename) so concurrent runners never
@@ -192,6 +216,9 @@ class RunnerPerf:
     wall_time: float = 0.0  # parent-side wall time across run_many calls
     sim_wall_time: float = 0.0  # summed per-run wall time (worker side)
     events: int = 0  # scheduler events across simulated runs
+    #: Kernel counters merged across simulated runs (None until the first
+    #: simulated run reports them).
+    kernel: Optional[KernelPerf] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -206,7 +233,15 @@ class RunnerPerf:
             return 0.0
         return self.events / self.sim_wall_time
 
-    def as_dict(self) -> Dict[str, float]:
+    def note_kernel(self, perf: Optional[KernelPerf]) -> None:
+        """Fold one run's kernel counters into the aggregate."""
+        if perf is None:
+            return
+        if self.kernel is None:
+            self.kernel = KernelPerf()
+        self.kernel.merge(perf)
+
+    def as_dict(self) -> Dict[str, Any]:
         return {
             "runs": self.runs,
             "simulated": self.simulated,
@@ -217,6 +252,7 @@ class RunnerPerf:
             "sim_wall_time": self.sim_wall_time,
             "events": self.events,
             "events_per_sec": self.events_per_sec,
+            "kernel": self.kernel.as_dict() if self.kernel else None,
         }
 
 
@@ -278,6 +314,7 @@ class ParallelRunner:
             self.perf.simulated += 1
             self.perf.events += result.events_processed
             self.perf.sim_wall_time += result.wall_time
+            self.perf.note_kernel(result.perf)
             if self.cache is not None and digests[i] is not None:
                 self.cache.put(digests[i], result)
 

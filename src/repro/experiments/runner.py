@@ -16,6 +16,7 @@ from repro.metrics.collector import (
 )
 from repro.mobility.map import RectMap
 from repro.net.network import Network
+from repro.perf import KernelPerf
 from repro.phy.channel import ChannelStats
 from repro.schemes import make_scheme
 from repro.sim.engine import Scheduler
@@ -47,6 +48,11 @@ class SimulationResult:
     #: (see :mod:`repro.experiments.parallel`) instead of simulated.
     #: Provenance metadata: excluded from value equality.
     from_cache: bool = field(default=False, compare=False)
+    #: Kernel counters collected at the end of the run (see
+    #: :class:`repro.perf.KernelPerf`).  Perf metadata: excluded from
+    #: value equality (the counters themselves are deterministic, but a
+    #: cached result may predate the field).
+    perf: Optional[KernelPerf] = field(default=None, compare=False)
 
     @property
     def events_per_sec(self) -> float:
@@ -183,6 +189,7 @@ def run_broadcast_simulation(
         fault_trace=list(injector.trace) if injector is not None else [],
         broadcasts_skipped=metrics.broadcasts_skipped,
         wall_time=time.perf_counter() - wall_start,
+        perf=KernelPerf.collect(scheduler, network),
     )
 
 

@@ -37,8 +37,7 @@ from __future__ import annotations
 import math
 import random
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Callable, Deque, Optional
+from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.mac.frames import AckFrame, DataFrame
 from repro.phy.channel import Channel, RadioListener
@@ -60,27 +59,58 @@ class MacReceiver:
     def on_frame_corrupted(self, frame: Any, sender_id: int) -> None:
         """Optional: a frame was heard but garbled."""
 
+    #: Set to ``False`` on receivers whose ``on_frame_corrupted`` is a
+    #: no-op: the MAC then skips the upcall entirely (it fires once per
+    #: garbled frame per receiver -- the hottest callback in a storm).
+    #: MAC-level corruption counters are maintained either way.
+    handles_corrupted_frames: bool = True
 
-@dataclass
+
 class MacStats:
-    """Per-host MAC counters."""
+    """Per-host MAC counters (a ``__slots__`` class; these are bumped on
+    every frame event)."""
 
-    frames_sent: int = 0
-    broadcast_frames_sent: int = 0
-    unicast_frames_sent: int = 0
-    frames_cancelled: int = 0
-    frames_flushed: int = 0  # queued frames discarded by a crash/shutdown
-    frames_received: int = 0
-    frames_corrupted: int = 0
-    backoffs_started: int = 0
-    unicast_attempts: int = 0
-    unicast_delivered: int = 0
-    unicast_failed: int = 0
-    retries: int = 0
-    acks_sent: int = 0
-    acks_suppressed: int = 0  # could not ACK (was transmitting)
-    overheard: int = 0  # unicast frames addressed to someone else
-    duplicates_filtered: int = 0  # retransmissions not re-delivered
+    __slots__ = (
+        "frames_sent", "broadcast_frames_sent", "unicast_frames_sent",
+        "frames_cancelled", "frames_flushed", "frames_received",
+        "frames_corrupted", "backoffs_started", "unicast_attempts",
+        "unicast_delivered", "unicast_failed", "retries", "acks_sent",
+        "acks_suppressed", "overheard", "duplicates_filtered",
+    )
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.broadcast_frames_sent = 0
+        self.unicast_frames_sent = 0
+        self.frames_cancelled = 0
+        self.frames_flushed = 0  # queued frames discarded by a crash/shutdown
+        self.frames_received = 0
+        self.frames_corrupted = 0
+        self.backoffs_started = 0
+        self.unicast_attempts = 0
+        self.unicast_delivered = 0
+        self.unicast_failed = 0
+        self.retries = 0
+        self.acks_sent = 0
+        self.acks_suppressed = 0  # could not ACK (was transmitting)
+        self.overheard = 0  # unicast frames addressed to someone else
+        self.duplicates_filtered = 0  # retransmissions not re-delivered
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MacStats):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__slots__
+        )
+
+    __hash__ = None  # mutable counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self.__slots__
+        )
+        return f"MacStats({fields})"
 
 
 class MacFrameHandle:
@@ -125,6 +155,17 @@ class MacFrameHandle:
 class CsmaCaMac(RadioListener):
     """One host's MAC entity."""
 
+    __slots__ = (
+        "host_id", "_scheduler", "_channel", "_params", "_rng", "_receiver",
+        "_retry_limit", "stats", "_queue", "_transmitting", "_others_busy",
+        "_others_idle_since", "_last_tx_end", "_cw", "_backoff_remaining",
+        "_countdown_base", "_access_event", "_awaiting_ack",
+        "_ack_timeout_event", "_tx_done_event", "_pending_ack_txs", "_dead",
+        "_tx_seq", "_last_rx_seq", "_difs", "_slot_time", "_sifs",
+        "_airtime_cache", "_ack_airtime", "_ack_timeout_delay",
+        "_notify_corrupt",
+    )
+
     def __init__(
         self,
         host_id: int,
@@ -143,6 +184,20 @@ class CsmaCaMac(RadioListener):
         self._receiver = receiver
         self._retry_limit = retry_limit
         self.stats = MacStats()
+
+        # PhyParams is frozen: hoist the per-event timing constants and
+        # precompute frame airtimes (the same few sizes recur all run).
+        self._difs = params.difs
+        self._slot_time = params.slot_time
+        self._sifs = params.sifs
+        self._airtime_cache: Dict[int, float] = {}
+        self._ack_airtime = params.airtime(AckFrame.size_bytes)
+        self._ack_timeout_delay = (
+            params.sifs + self._ack_airtime + 2 * params.slot_time
+        )
+        self._notify_corrupt = getattr(
+            receiver, "handles_corrupted_frames", True
+        )
 
         self._queue: Deque[MacFrameHandle] = deque()
         self._transmitting = False
@@ -220,8 +275,10 @@ class CsmaCaMac(RadioListener):
                 self._backoff_remaining = self._draw_backoff()
             return handle
         if self._backoff_remaining is None:
-            idle_base = max(self._others_idle_since, self._last_tx_end)
-            if self._scheduler.now - idle_base >= self._params.difs:
+            idle_since = self._others_idle_since
+            last_end = self._last_tx_end
+            idle_base = idle_since if idle_since >= last_end else last_end
+            if self._scheduler._now - idle_base >= self._difs:
                 # Medium already idle >= DIFS: immediate access.
                 self._start_transmission()
                 return handle
@@ -314,13 +371,54 @@ class CsmaCaMac(RadioListener):
     # --------------------------------------------------- channel callbacks
 
     def on_medium_state(self, busy: bool) -> None:
+        # Fires on every carrier edge at every in-range host; the common
+        # cases (no pending access / nothing queued) return without a call.
         if busy:
             self._others_busy = True
-            self._freeze()
+            if self._access_event is not None:
+                # _freeze(), inlined minus its redundant None re-check.
+                self._access_event.cancel()
+                self._access_event = None
+                remaining = self._backoff_remaining
+                if remaining is not None and self._countdown_base is not None:
+                    elapsed = self._scheduler._now - self._countdown_base
+                    consumed = math.floor(elapsed / self._slot_time)
+                    if consumed > 0:
+                        remaining -= consumed
+                        self._backoff_remaining = (
+                            remaining if remaining > 0 else 0
+                        )
+                self._countdown_base = None
         else:
             self._others_busy = False
-            self._others_idle_since = self._scheduler.now
-            self._maybe_resume()
+            now = self._scheduler._now
+            self._others_idle_since = now
+            if (
+                self._transmitting
+                or self._access_event is not None
+                or self._awaiting_ack is not None
+            ):
+                return
+            # Specialized _maybe_resume: on an idle edge the idle base is
+            # exactly ``now`` (``_others_idle_since == now`` and
+            # ``_last_tx_end <= now``), so the DIFS deadline needs no
+            # max() clamps.
+            remaining = self._backoff_remaining
+            if remaining is None:
+                for handle in self._queue:
+                    if not handle.cancelled:
+                        break
+                else:
+                    return
+                self._access_event = self._scheduler.schedule_at(
+                    now + self._difs, self._access_fire
+                )
+                return
+            base = now + self._difs
+            self._countdown_base = base
+            self._access_event = self._scheduler.schedule_at(
+                base + remaining * self._slot_time, self._access_fire
+            )
 
     def on_frame_received(self, frame: Any, sender_id: int) -> None:
         if isinstance(frame, AckFrame):
@@ -350,11 +448,20 @@ class CsmaCaMac(RadioListener):
 
     def on_frame_corrupted(self, frame: Any, sender_id: int) -> None:
         self.stats.frames_corrupted += 1
+        if not self._notify_corrupt or isinstance(frame, AckFrame):
+            return
         payload = frame.payload if isinstance(frame, DataFrame) else frame
-        if not isinstance(frame, AckFrame):
-            self._receiver.on_frame_corrupted(payload, sender_id)
+        self._receiver.on_frame_corrupted(payload, sender_id)
 
     # ------------------------------------------------------------ internals
+
+    def _airtime(self, size_bytes: int) -> float:
+        """Frame airtime, memoized per size (the same few sizes recur)."""
+        cache = self._airtime_cache
+        duration = cache.get(size_bytes)
+        if duration is None:
+            duration = cache[size_bytes] = self._params.airtime(size_bytes)
+        return duration
 
     def _draw_backoff(self) -> int:
         self.stats.backoffs_started += 1
@@ -362,14 +469,17 @@ class CsmaCaMac(RadioListener):
 
     def _freeze(self) -> None:
         """Medium went busy: cancel pending access, bank elapsed slots."""
-        if self._access_event is None:
+        event = self._access_event
+        if event is None:
             return
-        self._access_event.cancel()
+        event.cancel()
         self._access_event = None
         if self._backoff_remaining is not None and self._countdown_base is not None:
-            elapsed = self._scheduler.now - self._countdown_base
-            consumed = max(0, math.floor(elapsed / self._params.slot_time))
-            self._backoff_remaining = max(0, self._backoff_remaining - consumed)
+            elapsed = self._scheduler._now - self._countdown_base
+            consumed = math.floor(elapsed / self._slot_time)
+            if consumed > 0:
+                remaining = self._backoff_remaining - consumed
+                self._backoff_remaining = remaining if remaining > 0 else 0
         self._countdown_base = None
 
     def _maybe_resume(self) -> None:
@@ -382,20 +492,31 @@ class CsmaCaMac(RadioListener):
             return
         if self._others_busy:
             return
+        idle_since = self._others_idle_since
+        last_end = self._last_tx_end
+        idle_base = idle_since if idle_since >= last_end else last_end
+        now = self._scheduler._now
         if self._backoff_remaining is None:
-            # No pending backoff: only initial DIFS access for a queued frame.
-            if self.queue_length == 0:
+            # No pending backoff: only initial DIFS access for a queued
+            # frame.  (Loop instead of the queue_length property: this is
+            # hot and the queue is usually empty or tiny.)
+            for handle in self._queue:
+                if not handle.cancelled:
+                    break
+            else:
                 return
-            idle_base = max(self._others_idle_since, self._last_tx_end)
-            fire_at = max(self._scheduler.now, idle_base + self._params.difs)
+            fire_at = idle_base + self._difs
+            if fire_at < now:
+                fire_at = now
             self._access_event = self._scheduler.schedule_at(
                 fire_at, self._access_fire
             )
             return
-        base = max(self._others_idle_since, self._last_tx_end) + self._params.difs
+        base = idle_base + self._difs
         self._countdown_base = base
-        fire_at = base + self._backoff_remaining * self._params.slot_time
-        fire_at = max(fire_at, self._scheduler.now)
+        fire_at = base + self._backoff_remaining * self._slot_time
+        if fire_at < now:
+            fire_at = now
         self._access_event = self._scheduler.schedule_at(fire_at, self._access_fire)
 
     def _access_fire(self) -> None:
@@ -423,7 +544,7 @@ class CsmaCaMac(RadioListener):
             self.stats.unicast_frames_sent += 1
         else:
             self.stats.broadcast_frames_sent += 1
-        duration = self._params.airtime(handle.size_bytes)
+        duration = self._airtime(handle.size_bytes)
         if first_attempt and handle.on_transmit_start is not None:
             handle.on_transmit_start()
         envelope = DataFrame(
@@ -441,7 +562,7 @@ class CsmaCaMac(RadioListener):
     def _tx_done(self, handle: MacFrameHandle) -> None:
         self._tx_done_event = None
         self._transmitting = False
-        self._last_tx_end = self._scheduler.now
+        self._last_tx_end = self._scheduler._now
         if handle.is_unicast:
             self._await_ack(handle)
             return
@@ -451,8 +572,7 @@ class CsmaCaMac(RadioListener):
     # ------------------------------------------------------------- unicast
 
     def _ack_timeout_interval(self) -> float:
-        ack_airtime = self._params.airtime(AckFrame.size_bytes)
-        return self._params.sifs + ack_airtime + 2 * self._params.slot_time
+        return self._ack_timeout_delay
 
     def _await_ack(self, handle: MacFrameHandle) -> None:
         self._awaiting_ack = handle
@@ -495,7 +615,7 @@ class CsmaCaMac(RadioListener):
 
     def _schedule_ack(self, dst: int) -> None:
         event = self._scheduler.schedule(
-            self._params.sifs, self._transmit_ack, dst
+            self._sifs, self._transmit_ack, dst
         )
         self._pending_ack_txs.append(event)
 
@@ -517,7 +637,7 @@ class CsmaCaMac(RadioListener):
         self._transmitting = True
         self.stats.acks_sent += 1
         ack = AckFrame(src=self.host_id, dst=dst)
-        duration = self._params.airtime(ack.size_bytes)
+        duration = self._ack_airtime
         self._channel.start_transmission(self.host_id, ack, duration)
         self._tx_done_event = self._scheduler.schedule(
             duration, self._ack_tx_done

@@ -59,12 +59,27 @@ def reachable_set(
     grid = _grid_index(positions, radius)
     visited = {source}
     queue = deque([source])
+    rr = radius * radius
+    grid_get = grid.get
+    pop = queue.popleft
+    push = queue.append
     while queue:
-        current = queue.popleft()
-        for neighbor in _neighbors(current, positions, grid, radius):
-            if neighbor not in visited:
-                visited.add(neighbor)
-                queue.append(neighbor)
+        current = pop()
+        x, y = positions[current]
+        cx, cy = int(x // radius), int(y // radius)
+        for gx in (cx - 1, cx, cx + 1):
+            for gy in (cy - 1, cy, cy + 1):
+                for other in grid_get((gx, gy), ()):
+                    # Checking ``visited`` first also skips ``current``
+                    # itself, which is always visited.
+                    if other in visited:
+                        continue
+                    ox, oy = positions[other]
+                    dx = x - ox
+                    dy = y - oy
+                    if dx * dx + dy * dy <= rr:
+                        visited.add(other)
+                        push(other)
     visited.discard(source)
     return visited
 

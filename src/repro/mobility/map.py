@@ -58,7 +58,13 @@ class RectMap:
 
     def reflect(self, point: Tuple[float, float]) -> Tuple[float, float]:
         """Fold an unconstrained point back into the map by mirror reflection."""
-        return (_fold(point[0], self.width), _fold(point[1], self.height))
+        x, y = point
+        # Fast path: most motion segments stay inside the map, and for
+        # 0 <= v <= size the fold is exactly the identity (v % (2*size) == v
+        # and the mirror branch does not fire), so skipping it is bit-safe.
+        if 0.0 <= x <= self.width and 0.0 <= y <= self.height:
+            return (x, y)
+        return (_fold(x, self.width), _fold(y, self.height))
 
     def random_point(self, rng: random.Random) -> Tuple[float, float]:
         """A uniform random point inside the map."""

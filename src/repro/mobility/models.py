@@ -12,7 +12,7 @@ import random
 from abc import ABC, abstractmethod
 from typing import Callable, Optional, Tuple
 
-from repro.mobility.map import RectMap
+from repro.mobility.map import RectMap, _fold
 
 __all__ = [
     "MobilityModel",
@@ -32,6 +32,8 @@ def kmh_to_ms(kmh: float) -> float:
 class MobilityModel(ABC):
     """Interface: a host's position as a function of simulation time."""
 
+    __slots__ = ()
+
     @abstractmethod
     def position(self, time: float) -> Tuple[float, float]:
         """Position at ``time`` (seconds).  ``time`` must be non-decreasing
@@ -40,6 +42,8 @@ class MobilityModel(ABC):
 
 class StaticMobility(MobilityModel):
     """A host that never moves."""
+
+    __slots__ = ("_position",)
 
     def __init__(self, position: Tuple[float, float]) -> None:
         self._position = (float(position[0]), float(position[1]))
@@ -55,6 +59,11 @@ class _SegmentedMobility(MobilityModel):
     ``(duration, velocity_x, velocity_y)`` for the segment starting at the
     current position.
     """
+
+    __slots__ = (
+        "_world", "_seg_start_time", "_seg_end_time", "_seg_origin",
+        "_velocity", "_started",
+    )
 
     def __init__(self, world: RectMap, start: Tuple[float, float]) -> None:
         if not world.contains(start):
@@ -86,6 +95,22 @@ class _SegmentedMobility(MobilityModel):
         return self._world.reflect((x, y))
 
     def position(self, time: float) -> Tuple[float, float]:
+        # Fast path: inside the current segment (the overwhelmingly common
+        # case -- segments last seconds, events are microseconds apart).
+        # ``dt >= 0`` subsumes both the negative-time and the monotonicity
+        # checks; the arithmetic is exactly ``_raw_position`` + the in-map
+        # ``reflect`` fast path, so the result is bit-identical.
+        if self._started and time <= self._seg_end_time:
+            dt = time - self._seg_start_time
+            if dt >= 0:
+                origin = self._seg_origin
+                velocity = self._velocity
+                x = origin[0] + velocity[0] * dt
+                y = origin[1] + velocity[1] * dt
+                world = self._world
+                if 0.0 <= x <= world.width and 0.0 <= y <= world.height:
+                    return (x, y)
+                return (_fold(x, world.width), _fold(y, world.height))
         if time < 0:
             raise ValueError(f"negative time {time}")
         self._roll_to(time)
@@ -105,6 +130,8 @@ class RandomDirectionMobility(_SegmentedMobility):
     speed uniform over [0, ``max_speed_kmh``].  Motion reflects off map
     borders.
     """
+
+    __slots__ = ("_rng", "_max_speed_ms", "_duration_range")
 
     def __init__(
         self,
@@ -143,6 +170,8 @@ class RandomWaypointMobility(_SegmentedMobility):
     The host picks a uniform destination in the map, travels to it at a
     uniform speed in ``(min_speed_kmh, max_speed_kmh]``, pauses, and repeats.
     """
+
+    __slots__ = ("_rng", "_min_speed_ms", "_max_speed_ms", "_pause_time", "_pausing")
 
     def __init__(
         self,

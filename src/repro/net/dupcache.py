@@ -18,6 +18,8 @@ __all__ = ["DuplicateCache"]
 class DuplicateCache:
     """Remembers packet keys this host has already processed."""
 
+    __slots__ = ("_capacity", "_seen")
+
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive or None, got {capacity}")

@@ -21,9 +21,9 @@ Dynamic hello interval::
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.net.packets import HelloPacket
 
@@ -37,18 +37,56 @@ __all__ = [
 DEFAULT_NV_WINDOW = 10.0
 
 
-@dataclass
 class NeighborEntry:
-    """What host x knows about one neighbor h."""
+    """What host x knows about one neighbor h (a ``__slots__`` class)."""
 
-    host_id: int
-    last_heard: float
-    announced_interval: float
-    neighbor_ids: FrozenSet[int] = frozenset()  # N_{x,h}: h's announced neighbors
+    __slots__ = (
+        "host_id", "last_heard", "announced_interval", "neighbor_ids",
+        "expiry",
+    )
+
+    def __init__(
+        self,
+        host_id: int,
+        last_heard: float,
+        announced_interval: float,
+        neighbor_ids: FrozenSet[int] = frozenset(),
+        expiry: float = 0.0,
+    ) -> None:
+        self.host_id = host_id
+        self.last_heard = last_heard
+        self.announced_interval = announced_interval
+        self.neighbor_ids = neighbor_ids  # N_{x,h}: h's announced neighbors
+        #: ``last_heard + timeout_multiplier * announced_interval``; the
+        #: entry is stale strictly after this instant.
+        self.expiry = expiry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NeighborEntry(host_id={self.host_id}, "
+            f"last_heard={self.last_heard}, "
+            f"announced_interval={self.announced_interval}, "
+            f"neighbor_ids={self.neighbor_ids!r}, expiry={self.expiry})"
+        )
 
 
 class NeighborTable:
-    """Host-local neighbor knowledge built from received HELLOs."""
+    """Host-local neighbor knowledge built from received HELLOs.
+
+    Expiry is tracked lazily through a min-heap of ``(expiry, host_id)``
+    records: every HELLO pushes the entry's new expiry, and :meth:`purge`
+    only inspects records that have come due instead of scanning the whole
+    table.  A popped record whose entry has since been refreshed (its
+    current ``expiry`` is still in the future) is simply discarded -- the
+    refresh pushed a newer record.  The observable drop set is exactly the
+    seed's ``now - last_heard > timeout`` rule.
+    """
+
+    __slots__ = (
+        "_default_interval", "_timeout_multiplier", "_variation_window",
+        "_entries", "_changes", "_expiry_heap", "_frozen",
+        "hello_updates", "expirations",
+    )
 
     def __init__(
         self,
@@ -68,16 +106,25 @@ class NeighborTable:
         self._entries: Dict[int, NeighborEntry] = {}
         # (time, host_id) of join/leave events, pruned to the window.
         self._changes: Deque[Tuple[float, int]] = deque()
+        # Lazy expiry records; may hold stale husks for refreshed entries.
+        self._expiry_heap: List[Tuple[float, int]] = []
+        # Cached frozenset(N_x); invalidated on join/leave, not on refresh.
+        self._frozen: Optional[FrozenSet[int]] = None
+        #: Perf counters (see repro.perf): HELLOs absorbed / entries expired.
+        self.hello_updates = 0
+        self.expirations = 0
 
     # ----------------------------------------------------------- updates
 
     def update_from_hello(self, hello: HelloPacket, now: float) -> None:
         """Process a received HELLO packet."""
+        self.hello_updates += 1
         interval = (
             hello.hello_interval
             if hello.hello_interval is not None
             else self._default_interval
         )
+        expiry = now + self._timeout_multiplier * interval
         entry = self._entries.get(hello.sender_id)
         if entry is None:
             self._entries[hello.sender_id] = NeighborEntry(
@@ -85,23 +132,40 @@ class NeighborTable:
                 last_heard=now,
                 announced_interval=interval,
                 neighbor_ids=hello.neighbor_ids or frozenset(),
+                expiry=expiry,
             )
             self._changes.append((now, hello.sender_id))
+            self._frozen = None
         else:
             entry.last_heard = now
             entry.announced_interval = interval
+            entry.expiry = expiry
             if hello.neighbor_ids is not None:
                 entry.neighbor_ids = hello.neighbor_ids
+        heapq.heappush(self._expiry_heap, (expiry, hello.sender_id))
 
     def purge(self, now: float) -> Set[int]:
         """Drop neighbors not heard within their timeout; returns the dropped ids."""
-        dropped = set()
-        for host_id, entry in list(self._entries.items()):
-            timeout = self._timeout_multiplier * entry.announced_interval
-            if now - entry.last_heard > timeout:
-                del self._entries[host_id]
-                dropped.add(host_id)
-                self._changes.append((now, host_id))
+        dropped: Set[int] = set()
+        heap = self._expiry_heap
+        if not heap or heap[0][0] >= now:
+            return dropped
+        entries = self._entries
+        changes = self._changes
+        heappop = heapq.heappop
+        while heap and heap[0][0] < now:
+            _, host_id = heappop(heap)
+            entry = entries.get(host_id)
+            # Stale husk: the entry was refreshed (newer record pending)
+            # or already dropped via an earlier record.
+            if entry is None or entry.expiry >= now:
+                continue
+            del entries[host_id]
+            dropped.add(host_id)
+            changes.append((now, host_id))
+        if dropped:
+            self._frozen = None
+            self.expirations += len(dropped)
         return dropped
 
     # ----------------------------------------------------------- queries
@@ -111,6 +175,20 @@ class NeighborTable:
         if now is not None:
             self.purge(now)
         return set(self._entries)
+
+    def neighbor_frozenset(self, now: Optional[float] = None) -> FrozenSet[int]:
+        """``frozenset(N_x)``, cached across calls until membership changes.
+
+        HELLO piggybacking asks for this set once per HELLO; rebuilding it
+        only when a neighbor joined or expired makes the steady-state cost
+        O(1) instead of O(|N_x|).
+        """
+        if now is not None:
+            self.purge(now)
+        frozen = self._frozen
+        if frozen is None:
+            frozen = self._frozen = frozenset(self._entries)
+        return frozen
 
     def neighbor_count(self, now: Optional[float] = None) -> int:
         """``n = |N_x|``, the input to the adaptive threshold functions."""

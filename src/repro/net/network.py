@@ -97,14 +97,26 @@ class Network:
             self.hosts.append(host)
 
     def _position_of(self, host_id: int) -> Tuple[float, float]:
-        return self.hosts[host_id].mobility.position(self.scheduler.now)
+        # The host's per-instant memo (see MobileHost.position), inlined:
+        # this is the channel's position callback, invoked once per
+        # (candidate receiver, transmission) -- the single hottest call
+        # path in a dense broadcast storm.
+        host = self.hosts[host_id]
+        now = host.scheduler._now
+        if now == host._pos_time:
+            host.pos_hits += 1
+            return host._pos
+        host.pos_misses += 1
+        pos = host.mobility.position(now)
+        host._pos_time = now
+        host._pos = pos
+        return pos
 
     # ------------------------------------------------------------- queries
 
     def positions(self) -> Dict[int, Tuple[float, float]]:
         """Snapshot of all host positions at the current time."""
-        now = self.scheduler.now
-        return {h.host_id: h.mobility.position(now) for h in self.hosts}
+        return {h.host_id: h.position() for h in self.hosts}
 
     def alive_ids(self) -> Set[int]:
         """Hosts whose radios are currently up."""
@@ -112,10 +124,7 @@ class Network:
 
     def alive_positions(self) -> Dict[int, Tuple[float, float]]:
         """Positions of alive hosts only (crashed radios cannot relay)."""
-        now = self.scheduler.now
-        return {
-            h.host_id: h.mobility.position(now) for h in self.hosts if h.alive
-        }
+        return {h.host_id: h.position() for h in self.hosts if h.alive}
 
     def reachable_from(self, source_id: int) -> Set[int]:
         """Alive hosts currently reachable from ``source_id`` via alive

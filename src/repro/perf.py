@@ -1,0 +1,176 @@
+"""Always-on kernel performance counters and opt-in profiling.
+
+Two layers, matching how the paper's experiments are actually debugged:
+
+- :class:`KernelPerf` -- near-zero-overhead per-subsystem counters that
+  every simulation run collects for free.  All of them are *already
+  maintained* by the hot paths (the scheduler's insertion sequence, the
+  channel's :class:`~repro.phy.channel.ChannelStats`, each MAC's
+  :class:`~repro.mac.csma.MacStats`, each host's position-memo hit/miss
+  pair, each :class:`~repro.net.neighbors.NeighborTable`'s update/expiry
+  tallies); :meth:`KernelPerf.collect` merely reads them out once at the
+  end of a run, so the simulation itself pays nothing beyond the integer
+  bumps it was doing anyway.
+- :func:`profiled` / :func:`format_profile` -- an opt-in ``cProfile``
+  wrapper behind the CLI's ``--profile [N]`` flag, for when the counters
+  say *what* is slow and you need to know *where*.
+
+Counter semantics
+-----------------
+``events_scheduled`` counts every event ever pushed on the heap;
+``events_processed`` counts the callbacks that actually ran;
+``events_cancelled`` the events withdrawn before firing (MAC backoff
+freezes, scheme S5 inhibits); ``heap_compactions`` how many times the
+scheduler reclaimed cancelled husks in bulk.  ``pos_hits``/``pos_misses``
+describe the per-instant position memo: a hit returns the tuple cached at
+the current timestamp, a miss evaluates the mobility model.
+``hello_updates``/``neighbor_expirations`` count HELLO-driven neighbor
+table writes and lazy-heap expiries.  Channel and MAC counters mirror the
+fields of the same name on ``ChannelStats`` / ``MacStats`` (MAC counters
+are summed across hosts).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator
+
+__all__ = ["KernelPerf", "profiled", "format_profile"]
+
+
+class KernelPerf:
+    """Per-subsystem kernel counters for one simulation run."""
+
+    __slots__ = (
+        # scheduler
+        "events_scheduled", "events_processed", "events_cancelled",
+        "heap_compactions",
+        # channel
+        "transmissions", "deliveries", "collisions", "deaf_misses",
+        "grid_rebuilds",
+        # MAC (summed across hosts)
+        "frames_sent", "frames_received", "frames_corrupted",
+        "backoffs_started",
+        # host position memo
+        "pos_hits", "pos_misses",
+        # HELLO / neighbor bookkeeping
+        "hello_updates", "neighbor_expirations",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    # ------------------------------------------------------------ build
+
+    @classmethod
+    def collect(cls, scheduler: Any, network: Any) -> "KernelPerf":
+        """Read the counters the kernel maintained during a run.
+
+        ``scheduler`` is the run's :class:`~repro.sim.engine.Scheduler`;
+        ``network`` the :class:`~repro.net.network.Network` (its channel,
+        hosts, MACs and neighbor tables are walked once).
+        """
+        perf = cls()
+        perf.events_scheduled = scheduler.events_scheduled
+        perf.events_processed = scheduler.events_processed
+        perf.events_cancelled = scheduler.events_cancelled
+        perf.heap_compactions = scheduler.compactions
+
+        ch = network.channel.stats
+        perf.transmissions = ch.transmissions
+        perf.deliveries = ch.deliveries
+        perf.collisions = ch.collisions
+        perf.deaf_misses = ch.deaf_misses
+        perf.grid_rebuilds = ch.grid_rebuilds
+
+        frames_sent = frames_received = frames_corrupted = 0
+        backoffs = pos_hits = pos_misses = 0
+        hello_updates = expirations = 0
+        for host in network.hosts:
+            mac = host.mac.stats
+            frames_sent += mac.frames_sent
+            frames_received += mac.frames_received
+            frames_corrupted += mac.frames_corrupted
+            backoffs += mac.backoffs_started
+            pos_hits += host.pos_hits
+            pos_misses += host.pos_misses
+            table = host.neighbor_table
+            hello_updates += table.hello_updates
+            expirations += table.expirations
+        perf.frames_sent = frames_sent
+        perf.frames_received = frames_received
+        perf.frames_corrupted = frames_corrupted
+        perf.backoffs_started = backoffs
+        perf.pos_hits = pos_hits
+        perf.pos_misses = pos_misses
+        perf.hello_updates = hello_updates
+        perf.neighbor_expirations = expirations
+        return perf
+
+    # ------------------------------------------------------------- ops
+
+    def merge(self, other: "KernelPerf") -> "KernelPerf":
+        """Add ``other``'s counters into this one (aggregation across
+        runs); returns ``self`` for chaining."""
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def pos_hit_rate(self) -> float:
+        """Position-memo hits over all position queries (0.0 if none)."""
+        queries = self.pos_hits + self.pos_misses
+        return self.pos_hits / queries if queries else 0.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KernelPerf):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__slots__
+        )
+
+    __hash__ = None  # mutable counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name in self.__slots__
+        )
+        return f"KernelPerf({fields})"
+
+
+@contextmanager
+def profiled() -> Iterator[cProfile.Profile]:
+    """Profile the ``with`` body; yields the (enabled) profile object.
+
+    The profile is disabled on exit and can be rendered with
+    :func:`format_profile`::
+
+        with profiled() as prof:
+            run_broadcast_simulation(config)
+        print(format_profile(prof, top_n=25))
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+
+
+def format_profile(profile: cProfile.Profile, top_n: int = 25) -> str:
+    """Render the ``top_n`` functions by cumulative then internal time."""
+    if top_n < 1:
+        raise ValueError(f"top_n must be >= 1, got {top_n}")
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    stats.sort_stats("tottime").print_stats(top_n)
+    return buffer.getvalue()

@@ -66,10 +66,8 @@ their RNG in an identical sequence either way.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.geometry.points import distance_sq
 from repro.phy.capture import CaptureModel
 from repro.phy.params import PhyParams
 from repro.sim.engine import Scheduler
@@ -95,23 +93,54 @@ class RadioListener:
         """A frame completed but was garbled at this receiver."""
 
 
-@dataclass
 class ChannelStats:
-    """Medium-wide counters, cumulative over a simulation."""
+    """Medium-wide counters, cumulative over a simulation.
 
-    transmissions: int = 0
-    deliveries: int = 0
-    collisions: int = 0
-    deaf_misses: int = 0  # frame arrived while the receiver was transmitting
-    injected_drops: int = 0
-    aborted_frames: int = 0  # transmissions truncated mid-frame (crash)
-    truncated_receptions: int = 0  # receptions scrubbed by a sender abort
-    #: Spatial-grid neighbor index rebuilds (0 when the index is disabled).
-    grid_rebuilds: int = 0
-    #: Per-host seconds spent transmitting / receiving energy.  A standard
-    #: first-order energy proxy: radio energy ~ a*tx_airtime + b*rx_airtime.
-    tx_airtime: Dict[int, float] = field(default_factory=dict)
-    rx_airtime: Dict[int, float] = field(default_factory=dict)
+    A plain ``__slots__`` class (not a dataclass): the counters sit on the
+    per-frame hot path and the slot layout keeps the increments cheap.
+    """
+
+    __slots__ = (
+        "transmissions", "deliveries", "collisions", "deaf_misses",
+        "injected_drops", "aborted_frames", "truncated_receptions",
+        "grid_rebuilds", "tx_airtime", "rx_airtime",
+    )
+
+    def __init__(self) -> None:
+        self.transmissions = 0
+        self.deliveries = 0
+        self.collisions = 0
+        #: Frames that arrived while the receiver was itself transmitting.
+        self.deaf_misses = 0
+        self.injected_drops = 0
+        #: Transmissions truncated mid-frame (crash).
+        self.aborted_frames = 0
+        #: Receptions scrubbed by a sender abort.
+        self.truncated_receptions = 0
+        #: Spatial-grid neighbor index rebuilds (0 when the index is off).
+        self.grid_rebuilds = 0
+        #: Per-host seconds spent transmitting / receiving energy.  A
+        #: standard first-order energy proxy:
+        #: radio energy ~ a*tx_airtime + b*rx_airtime.
+        self.tx_airtime: Dict[int, float] = {}
+        self.rx_airtime: Dict[int, float] = {}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChannelStats):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__slots__
+        )
+
+    __hash__ = None  # mutable counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in self.__slots__ if "airtime" not in name
+        )
+        return f"ChannelStats({fields})"
 
     def add_tx_airtime(self, host_id: int, duration: float) -> None:
         self.tx_airtime[host_id] = self.tx_airtime.get(host_id, 0.0) + duration
@@ -128,16 +157,15 @@ class ChannelStats:
         return sum(self.rx_airtime.values())
 
 
-class _Reception:
-    __slots__ = ("frame", "sender_id", "corrupted", "power")
-
-    def __init__(
-        self, frame: Any, sender_id: int, corrupted: bool, power: float = 1.0
-    ) -> None:
-        self.frame = frame
-        self.sender_id = sender_id
-        self.corrupted = corrupted
-        self.power = power
+# One in-flight reception at one receiver.  A bare 4-slot list rather than
+# a class: hundreds of thousands are created per run and list display is
+# the cheapest allocation CPython offers.  Layout (indices _RX_*):
+# [frame, sender_id, corrupted, power]
+_RX_FRAME = 0
+_RX_SENDER = 1
+_RX_CORRUPTED = 2
+_RX_POWER = 3
+_Reception = list
 
 
 class _Transmission:
@@ -170,6 +198,10 @@ class Channel:
     #: cell.  Smaller = more rebuilds, larger = wider query rings.
     GRID_MAX_DRIFT_FRACTION = 0.5
 
+    # No __slots__ here on purpose: there is exactly one Channel per
+    # simulation (nothing to save), and tests spy on its methods by
+    # instance assignment.
+
     def __init__(
         self,
         scheduler: Scheduler,
@@ -185,10 +217,21 @@ class Channel:
         self._position_of = position_of
         self._drop_predicate = drop_predicate
         self._tracer = tracer or NullTracer()
+        # Per-reception tracer dispatch is pure overhead with the default
+        # NullTracer; the hot paths check this flag instead of calling it.
+        self._tracing = not isinstance(self._tracer, NullTracer)
         self._capture = capture
+        self._radio_radius_sq = params.radio_radius * params.radio_radius
         self._listeners: Dict[int, RadioListener] = {}
         self._active: Dict[int, _Transmission] = {}
         self._incoming: Dict[int, Dict[int, _Reception]] = {}
+        # Per-instant position memo.  Positions are a pure function of
+        # simulation time (mobility models; see module docstring), so within
+        # one timestamp every query for the same host returns the same
+        # point -- and dense scenarios ask repeatedly (multiple same-slot
+        # transmissions each scanning ~all hosts).
+        self._pos_cache: Dict[int, Tuple[float, float]] = {}
+        self._pos_cache_time = -1.0
         self.stats = ChannelStats()
         # Spatial-grid neighbor index (enabled by a finite speed bound).
         self._attach_order: Dict[int, int] = {}
@@ -237,16 +280,30 @@ class Channel:
         cell = self._params.radio_radius
         return (int(position[0] // cell), int(position[1] // cell))
 
+    def _positions_now(self) -> Dict[int, Tuple[float, float]]:
+        """The per-instant position memo, cleared on time advance."""
+        now = self._scheduler._now
+        if self._pos_cache_time != now:
+            self._pos_cache.clear()
+            self._pos_cache_time = now
+        return self._pos_cache
+
     def _rebuild_grid(self) -> None:
         grid: Dict[Tuple[int, int], List[int]] = {}
         cell_of: Dict[int, Tuple[int, int]] = {}
+        pos_cache = self._positions_now()
+        pos_cache_get = pos_cache.get
+        position_of = self._position_of
         for host_id in self._listeners:
-            key = self._cell_key(self._position_of(host_id))
+            pos = pos_cache_get(host_id)
+            if pos is None:
+                pos = pos_cache[host_id] = position_of(host_id)
+            key = self._cell_key(pos)
             grid.setdefault(key, []).append(host_id)
             cell_of[host_id] = key
         self._grid = grid
         self._grid_cell_of = cell_of
-        self._grid_time = self._scheduler.now
+        self._grid_time = self._scheduler._now
         self.stats.grid_rebuilds += 1
 
     def _candidate_ids(self, center: Tuple[float, float]) -> Iterable[int]:
@@ -258,7 +315,7 @@ class Channel:
         """
         if self._max_speed_ms is None:
             return self._listeners
-        now = self._scheduler.now
+        now = self._scheduler._now
         radius = self._params.radio_radius
         max_drift = self.GRID_MAX_DRIFT_FRACTION * radius
         if (
@@ -273,12 +330,17 @@ class Channel:
         ring = int(reach // cell) + 1
         grid = self._grid
         ids: List[int] = []
+        buckets_hit = 0
         for ix in range(cx - ring, cx + ring + 1):
             for iy in range(cy - ring, cy + ring + 1):
                 bucket = grid.get((ix, iy))
                 if bucket:
+                    buckets_hit += 1
                     ids.extend(bucket)
-        ids.sort(key=self._attach_order.__getitem__)
+        if buckets_hit > 1:
+            # Each bucket is already in attach order (built by iterating the
+            # listener dict); a single-bucket result needs no sort.
+            ids.sort(key=self._attach_order.__getitem__)
         return ids
 
     # ----------------------------------------------------- attach/detach
@@ -332,7 +394,8 @@ class Channel:
         remainder = max(0.0, tx.end_time - now)
         self.stats.aborted_frames += 1
         self.stats.add_tx_airtime(sender_id, -remainder)
-        self._tracer.emit(now, "tx-abort", sender=sender_id)
+        if self._tracing:
+            self._tracer.emit(now, "tx-abort", sender=sender_id)
         newly_idle: List[int] = []
         for host_id in tx.receiver_ids:
             inbox = self._incoming.get(host_id)
@@ -364,13 +427,25 @@ class Channel:
 
     def neighbors_in_range(self, host_id: int) -> List[int]:
         """Geometric oracle: attached hosts within radio range right now."""
-        center = self._position_of(host_id)
-        rr = self._params.radio_radius ** 2
+        position_of = self._position_of
+        pos_cache = self._positions_now()
+        pos_cache_get = pos_cache.get
+        center = pos_cache_get(host_id)
+        if center is None:
+            center = pos_cache[host_id] = position_of(host_id)
+        cx, cy = center
+        rr = self._radio_radius_sq
         out = []
-        for other_id in self._candidate_ids(center):
+        for other_id in self._candidate_ids((cx, cy)):
             if other_id == host_id:
                 continue
-            if distance_sq(center, self._position_of(other_id)) <= rr:
+            pos = pos_cache_get(other_id)
+            if pos is None:
+                pos = pos_cache[other_id] = position_of(other_id)
+            ox, oy = pos
+            dx = cx - ox
+            dy = cy - oy
+            if dx * dx + dy * dy <= rr:
                 out.append(other_id)
         return out
 
@@ -387,63 +462,103 @@ class Channel:
         if duration <= 0:
             raise ValueError(f"duration must be > 0, got {duration}")
 
-        now = self._scheduler.now
-        sender_pos = self._position_of(sender_id)
-        rr = self._params.radio_radius ** 2
-        self.stats.transmissions += 1
-        self.stats.add_tx_airtime(sender_id, duration)
-        self._tracer.emit(
-            now, "tx-start", sender=sender_id, duration=duration,
-            position=sender_pos,
-        )
+        scheduler = self._scheduler
+        now = scheduler._now
+        position_of = self._position_of
+        pos_cache = self._positions_now()
+        pos_cache_get = pos_cache.get
+        sender_pos = pos_cache_get(sender_id)
+        if sender_pos is None:
+            sender_pos = pos_cache[sender_id] = position_of(sender_id)
+        sx, sy = sender_pos
+        rr = self._radio_radius_sq
+        stats = self.stats
+        stats.transmissions += 1
+        stats.add_tx_airtime(sender_id, duration)
+        if self._tracing:
+            self._tracer.emit(
+                now, "tx-start", sender=sender_id, duration=duration,
+                position=sender_pos,
+            )
 
         # Half-duplex: anything the sender was receiving is now garbled.
-        for reception in self._incoming[sender_id].values():
-            if not reception.corrupted:
-                reception.corrupted = True
-                self.stats.deaf_misses += 1
+        # (deaf_misses / injected_drops / collisions accumulate in locals
+        # through the receiver loop; slot stores are hoisted out.)
+        deaf_misses = 0
+        collisions = 0
+        injected_drops = 0
+        incoming = self._incoming
+        for reception in incoming[sender_id].values():
+            if not reception[_RX_CORRUPTED]:
+                reception[_RX_CORRUPTED] = True
+                deaf_misses += 1
 
         receiver_ids: List[int] = []
         tx = _Transmission(sender_id, frame, now + duration, receiver_ids, sender_pos)
-        self._active[sender_id] = tx
+        active = self._active
+        active[sender_id] = tx
         newly_busy: List[int] = []
+        drop_predicate = self._drop_predicate
+        capture = self._capture
+        rx_air = stats.rx_airtime
+        append_receiver = receiver_ids.append
 
         for host_id in self._candidate_ids(sender_pos):
             if host_id == sender_id:
                 continue
-            dist_sq = distance_sq(sender_pos, self._position_of(host_id))
+            pos = pos_cache_get(host_id)
+            if pos is None:
+                pos = pos_cache[host_id] = position_of(host_id)
+            hx, hy = pos
+            dx = sx - hx
+            dy = sy - hy
+            dist_sq = dx * dx + dy * dy
             if dist_sq > rr:
                 continue
-            receiver_ids.append(host_id)
-            self.stats.add_rx_airtime(host_id, duration)
+            append_receiver(host_id)
+            try:
+                rx_air[host_id] += duration
+            except KeyError:
+                rx_air[host_id] = duration
             corrupted = False
-            if host_id in self._active:
+            if host_id in active:
                 # Receiver is itself on the air: deaf to this frame.
                 corrupted = True
-                self.stats.deaf_misses += 1
-            elif self._drop_predicate is not None and self._drop_predicate(
+                deaf_misses += 1
+            elif drop_predicate is not None and drop_predicate(
                 sender_id, host_id
             ):
                 corrupted = True
-                self.stats.injected_drops += 1
+                injected_drops += 1
             power = (
-                self._capture.power(dist_sq ** 0.5)
-                if self._capture is not None
-                else 1.0
+                capture.power(dist_sq ** 0.5) if capture is not None else 1.0
             )
-            inbox = self._incoming[host_id]
-            was_idle = not inbox
-            reception = _Reception(frame, sender_id, corrupted, power)
-            inbox[sender_id] = reception
-            if len(inbox) > 1:
-                self._resolve_overlap(inbox)
-            if was_idle:
+            inbox = incoming[host_id]
+            if inbox:
+                inbox[sender_id] = [frame, sender_id, corrupted, power]
+                if capture is None:
+                    # Inlined no-capture overlap rule: everything in the
+                    # overlap is garbled (no capture effect).
+                    for reception in inbox.values():
+                        if not reception[_RX_CORRUPTED]:
+                            reception[_RX_CORRUPTED] = True
+                            collisions += 1
+                else:
+                    self._resolve_overlap(inbox)
+            else:
+                inbox[sender_id] = [frame, sender_id, corrupted, power]
                 newly_busy.append(host_id)
 
+        if deaf_misses:
+            stats.deaf_misses += deaf_misses
+        if collisions:
+            stats.collisions += collisions
+        if injected_drops:
+            stats.injected_drops += injected_drops
         if newly_busy:
-            self._scheduler.schedule(0.0, self._notify_busy, newly_busy)
-        tx.end_event = self._scheduler.schedule(
-            duration, self._end_transmission, sender_id
+            scheduler.schedule_at(now, self._notify_busy, newly_busy)
+        tx.end_event = scheduler.schedule_at(
+            now + duration, self._end_transmission, sender_id
         )
 
     def _resolve_overlap(self, inbox: Dict[int, "_Reception"]) -> None:
@@ -455,21 +570,21 @@ class Channel:
         once corrupted, a frame stays corrupted (receivers cannot resync
         mid-frame).
         """
+        stats = self.stats
         if self._capture is None:
             for reception in inbox.values():
-                if not reception.corrupted:
-                    reception.corrupted = True
-                    self.stats.collisions += 1
+                if not reception[_RX_CORRUPTED]:
+                    reception[_RX_CORRUPTED] = True
+                    stats.collisions += 1
             return
-        total = sum(r.power for r in inbox.values())
+        total = sum(r[_RX_POWER] for r in inbox.values())
         for reception in inbox.values():
-            if reception.corrupted:
+            if reception[_RX_CORRUPTED]:
                 continue
-            if not self._capture.survives(
-                reception.power, total - reception.power
-            ):
-                reception.corrupted = True
-                self.stats.collisions += 1
+            power = reception[_RX_POWER]
+            if not self._capture.survives(power, total - power):
+                reception[_RX_CORRUPTED] = True
+                stats.collisions += 1
 
     def _notify_busy(self, host_ids: List[int]) -> None:
         for host_id in host_ids:
@@ -481,37 +596,51 @@ class Channel:
         tx = self._active.pop(sender_id, None)
         if tx is None:  # aborted mid-frame (the end event should have been
             return      # cancelled; this guard makes the race harmless)
-        completed: List[Tuple[int, _Reception]] = []
+        completed: List[list] = []
         newly_idle: List[int] = []
+        incoming = self._incoming
+        incoming_get = incoming.get
+        append_completed = completed.append
         for host_id in tx.receiver_ids:
-            inbox = self._incoming.get(host_id)
+            inbox = incoming_get(host_id)
             if inbox is None:  # receiver detached mid-frame
                 continue
             reception = inbox.pop(sender_id, None)
             if reception is None:
                 continue
-            completed.append((host_id, reception))
+            # Tack the receiver id onto the reception record itself instead
+            # of allocating a (host_id, reception) pair per delivery.
+            reception.append(host_id)
+            append_completed(reception)
             if not inbox:
                 newly_idle.append(host_id)
 
+        listeners_get = self._listeners.get
         for host_id in newly_idle:
-            listener = self._listeners.get(host_id)
+            listener = listeners_get(host_id)
             if listener is not None:
                 listener.on_medium_state(False)
-        for host_id, reception in completed:
-            listener = self._listeners.get(host_id)
+        tracing = self._tracing
+        deliveries = 0
+        for reception in completed:
+            host_id = reception[4]
+            listener = listeners_get(host_id)
             if listener is None:
                 continue
-            if reception.corrupted:
-                self._tracer.emit(
-                    self._scheduler.now, "rx-corrupted",
-                    sender=sender_id, receiver=host_id,
-                )
-                listener.on_frame_corrupted(reception.frame, sender_id)
+            if reception[_RX_CORRUPTED]:
+                if tracing:
+                    self._tracer.emit(
+                        self._scheduler.now, "rx-corrupted",
+                        sender=sender_id, receiver=host_id,
+                    )
+                listener.on_frame_corrupted(reception[_RX_FRAME], sender_id)
             else:
-                self.stats.deliveries += 1
-                self._tracer.emit(
-                    self._scheduler.now, "rx",
-                    sender=sender_id, receiver=host_id,
-                )
-                listener.on_frame_received(reception.frame, sender_id)
+                deliveries += 1
+                if tracing:
+                    self._tracer.emit(
+                        self._scheduler.now, "rx",
+                        sender=sender_id, receiver=host_id,
+                    )
+                listener.on_frame_received(reception[_RX_FRAME], sender_id)
+        if deliveries:
+            self.stats.deliveries += deliveries

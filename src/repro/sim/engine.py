@@ -15,8 +15,7 @@ ties fall back to FIFO order.  Given the same seed (see
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Scheduler", "SimulationError"]
 
@@ -63,11 +62,14 @@ class Event:
             self._sched._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        # Field-wise comparison: equivalent to comparing the
+        # (time, priority, seq) tuples, without allocating them.  This runs
+        # once per heap sift step, i.e. millions of times per simulation.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -94,13 +96,22 @@ class Scheduler:
     #: silently clamps to 0 instead of raising.
     NEGATIVE_DELAY_EPSILON = 1e-12
 
+    __slots__ = (
+        "_queue", "_seq", "_now", "_running", "_events_processed",
+        "_cancelled_in_queue", "_cancels", "_compactions",
+    )
+
     def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        # Heap entries are ``(time, priority, seq, event)`` tuples rather
+        # than bare events: heap sifts then compare in C (seq is unique, so
+        # the comparison never reaches the event object).
+        self._queue: List[tuple] = []
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._events_processed = 0
         self._cancelled_in_queue = 0
+        self._cancels = 0
         self._compactions = 0
 
     @property
@@ -112,6 +123,16 @@ class Scheduler:
     def events_processed(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._events_processed
+
+    @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled (executed, pending or cancelled)."""
+        return self._seq
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of queued events that were cancelled over the run."""
+        return self._cancels
 
     @property
     def pending(self) -> int:
@@ -138,23 +159,25 @@ class Scheduler:
         dropping entries and re-heapifying cannot reorder the remaining
         events because ordering is a total order on those keys.
         """
-        self._cancelled_in_queue += 1
-        if (
-            len(self._queue) >= self.COMPACT_MIN_SIZE
-            and self._cancelled_in_queue * 2 > len(self._queue)
-        ):
+        cancelled = self._cancelled_in_queue + 1
+        self._cancelled_in_queue = cancelled
+        self._cancels += 1
+        size = len(self._queue)
+        if size >= self.COMPACT_MIN_SIZE and cancelled * 2 > size:
             self._compact()
 
     def _compact(self) -> None:
-        live = [e for e in self._queue if not e.cancelled]
+        live = [entry for entry in self._queue if not entry[3].cancelled]
         heapq.heapify(live)
-        self._queue = live
+        # In-place so that the list object's identity is stable: the run()
+        # hot loop holds a local alias to the heap across callbacks.
+        self._queue[:] = live
         self._cancelled_in_queue = 0
         self._compactions += 1
 
     def _pop(self) -> Event:
         """Pop the heap top, keeping the husk accounting consistent."""
-        event = heapq.heappop(self._queue)
+        event = heapq.heappop(self._queue)[3]
         event._sched = None
         if event.cancelled:
             self._cancelled_in_queue -= 1
@@ -176,9 +199,11 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule at t={time} < now={self._now}"
             )
-        event = Event(time, priority, next(self._seq), fn, args)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, fn, args)
         event._sched = self
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         return event
 
     def schedule(
@@ -211,19 +236,36 @@ class Scheduler:
         if self._running:
             raise SimulationError("scheduler is already running (reentrant run())")
         self._running = True
+        # Hot loop: the heap list is aliased locally (safe -- _compact
+        # mutates it in place) and heappop is hoisted out of the loop.
+        # Husk accounting from _pop() is inlined.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                event = self._queue[0]
-                if until is not None and event.time > until:
-                    break
-                self._pop()
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                self._events_processed += 1
-                event.fn(*event.args)
-            if until is not None and until > self._now:
-                self._now = until
+            if until is None:
+                while queue:
+                    event = heappop(queue)[3]
+                    event._sched = None
+                    if event.cancelled:
+                        self._cancelled_in_queue -= 1
+                        continue
+                    self._now = event.time
+                    self._events_processed += 1
+                    event.fn(*event.args)
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        break
+                    event = heappop(queue)[3]
+                    event._sched = None
+                    if event.cancelled:
+                        self._cancelled_in_queue -= 1
+                        continue
+                    self._now = event.time
+                    self._events_processed += 1
+                    event.fn(*event.args)
+                if until > self._now:
+                    self._now = until
         finally:
             self._running = False
         return self._now
@@ -245,6 +287,6 @@ class Scheduler:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][3].cancelled:
             self._pop()
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None

@@ -38,6 +38,39 @@ def test_run_command_counter_threshold(capsys):
     assert "counter@3x3" in capsys.readouterr().out
 
 
+def test_run_command_perf_flag(capsys):
+    exit_code = main(
+        [
+            "run", "--scheme", "flooding", "--map", "3", "--hosts", "20",
+            "--broadcasts", "3", "--seed", "5", "--perf",
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "events_processed" in out
+    assert "pos_hit_rate" in out
+
+
+def test_run_command_profile_flag(capsys):
+    exit_code = main(
+        [
+            "run", "--scheme", "flooding", "--map", "3", "--hosts", "20",
+            "--broadcasts", "3", "--seed", "5", "--profile", "5",
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    # cProfile table plus the normal run summary.
+    assert "cumulative" in out and "RE=" in out
+
+
+def test_figure_command_profile_flag(capsys):
+    assert main(["figure", "fig01", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "EAC(k)" in out  # analytic figure still renders
+    assert "cumulative" in out
+
+
 def test_figure_fig01(capsys):
     assert main(["figure", "fig01"]) == 0
     out = capsys.readouterr().out

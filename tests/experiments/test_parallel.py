@@ -166,6 +166,50 @@ def test_cache_survives_corrupt_entry(tmp_path):
     assert cache.get(digest) is not None
 
 
+def test_cache_truncated_entry_is_deleted_and_recomputed(tmp_path):
+    """A torn write (valid pickle prefix, cut short) is a miss: the husk
+    is unlinked so the recomputed result can take its slot."""
+    config = small_config()
+    digest = config_digest(config)
+    cache = ResultCache(tmp_path)
+
+    good = run_broadcast_simulation(config)
+    payload = pickle.dumps(good, protocol=pickle.HIGHEST_PROTOCOL)
+    entry = tmp_path / f"{digest}.pkl"
+    entry.write_bytes(payload[: len(payload) // 2])
+
+    assert cache.get(digest) is None
+    assert not entry.exists()  # husk removed, not left to fail forever
+
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    result = runner.run_many([config])[0]
+    assert not result.from_cache
+    assert runner.perf.simulated == 1 and runner.perf.cache_hits == 0
+    # Recomputed result landed in the freed slot and round-trips.
+    reloaded = cache.get(digest)
+    assert reloaded is not None
+    assert_same_run(reloaded, result)
+
+
+def test_cache_wrong_type_entry_is_deleted(tmp_path):
+    """A file that unpickles fine but is not a SimulationResult is
+    treated exactly like corruption."""
+    cache = ResultCache(tmp_path)
+    digest = config_digest(small_config())
+    entry = tmp_path / f"{digest}.pkl"
+    entry.write_bytes(pickle.dumps({"not": "a result"}))
+    assert cache.get(digest) is None
+    assert not entry.exists()
+
+
+def test_cache_missing_entry_is_plain_miss(tmp_path):
+    """No file at all: miss without touching the directory."""
+    cache = ResultCache(tmp_path)
+    before = sorted(p.name for p in tmp_path.iterdir())
+    assert cache.get("0" * 16) is None
+    assert sorted(p.name for p in tmp_path.iterdir()) == before
+
+
 def test_cache_clear(tmp_path):
     runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
     runner.run_many([small_config(seed=s) for s in (1, 2)])
@@ -189,6 +233,29 @@ def test_perf_counters_accumulate():
     assert perf.sim_wall_time > 0.0
     assert perf.events_per_sec > 0.0
     assert perf.as_dict()["runs"] == 2
+
+
+def test_runner_perf_aggregates_kernel_counters(tmp_path):
+    """Simulated runs fold their KernelPerf into the runner aggregate;
+    cache hits do not double-count."""
+    config = small_config()
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    result = runner.run_many([config])[0]
+    kernel = runner.perf.kernel
+    assert kernel is not None
+    assert kernel == result.perf
+    assert kernel.events_processed == result.events_processed
+    assert kernel.transmissions == result.channel_stats.transmissions
+
+    warm = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    warm.run_many([config])
+    assert warm.perf.cache_hits == 1
+    assert warm.perf.kernel is None  # nothing simulated, nothing merged
+    assert warm.perf.as_dict()["kernel"] is None
+
+    exported = runner.perf.as_dict()["kernel"]
+    assert exported == result.perf.as_dict()
+    assert exported["events_processed"] == result.events_processed
 
 
 def test_result_perf_fields_and_export():

@@ -251,3 +251,62 @@ def test_compaction_keeps_fifo_ties(scheduler):
     assert scheduler.compactions > 0
     scheduler.run()
     assert fired == list(range(10))
+
+
+# ------------------------------------------------- ordering invariants
+
+
+def test_event_lt_matches_tuple_order():
+    """Event.__lt__ is field-wise but must agree exactly with comparing
+    (time, priority, seq) tuples -- the heap stores those tuples, and the
+    field-wise form is the documented public contract."""
+    from itertools import product
+
+    from repro.sim.engine import Event
+
+    values = [0.0, 1.0, 2.5]
+    combos = list(product(values, [-1, 0, 1], [0, 1, 2]))
+    events = [Event(t, p, s, lambda: None, ()) for t, p, s in combos]
+    for a, ka in zip(events, combos):
+        for b, kb in zip(events, combos):
+            assert (a < b) == (ka < kb), (ka, kb)
+
+
+def test_execution_order_is_time_priority_seq(scheduler):
+    """Stress the full ordering contract: randomized times with many
+    exact ties, mixed priorities, and interleaved cancellations still
+    execute in strict (time, priority, seq) order."""
+    import random
+
+    rng = random.Random(42)
+    fired = []
+    scheduled = []
+    for i in range(500):
+        time = rng.choice([1.0, 1.0, 2.0, 2.5, 3.0])  # force many ties
+        priority = rng.choice([-1, 0, 0, 1])
+        event = scheduler.schedule_at(time, fired.append, i, priority=priority)
+        scheduled.append((time, priority, event.seq, i, event))
+    cancelled = set()
+    for time, priority, seq, i, event in scheduled:
+        if i % 7 == 0:
+            event.cancel()
+            cancelled.add(i)
+    scheduler.run()
+    expected = [
+        i
+        for time, priority, seq, i, _ in sorted(
+            s for s in scheduled if s[3] not in cancelled
+        )
+    ]
+    assert fired == expected
+
+
+def test_peek_time_skips_cancelled_head(scheduler):
+    """peek_time sees through cancelled husks at the heap head without
+    executing anything."""
+    head = scheduler.schedule(1.0, lambda: None)
+    scheduler.schedule(2.0, lambda: None)
+    assert scheduler.peek_time() == 1.0
+    head.cancel()
+    assert scheduler.peek_time() == 2.0
+    assert scheduler.events_processed == 0

@@ -1,0 +1,145 @@
+"""Kernel perf layer: counters, aggregation, profiling helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.io import result_to_dict
+from repro.experiments.runner import run_broadcast_simulation
+from repro.perf import KernelPerf, format_profile, profiled
+
+
+def small_config(**overrides):
+    base = dict(
+        scheme="adaptive-counter",
+        map_units=3,
+        num_hosts=30,
+        num_broadcasts=4,
+        seed=3,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_broadcast_simulation(small_config())
+
+
+def test_every_run_carries_kernel_counters(result):
+    perf = result.perf
+    assert isinstance(perf, KernelPerf)
+    # Scheduler counters mirror the run itself.
+    assert perf.events_processed == result.events_processed
+    assert perf.events_scheduled >= perf.events_processed
+    assert perf.events_cancelled >= 0
+    # Channel counters mirror ChannelStats.
+    ch = result.channel_stats
+    assert perf.transmissions == ch.transmissions
+    assert perf.deliveries == ch.deliveries
+    assert perf.collisions == ch.collisions
+    assert perf.deaf_misses == ch.deaf_misses
+    # MAC counters are summed across hosts; the run clearly sent frames.
+    assert perf.frames_sent > 0
+    assert perf.frames_received > 0
+    assert perf.backoffs_started == result.backoffs_started
+    # HELLO-driven neighbor bookkeeping ran (adaptive-counter uses HELLOs).
+    assert perf.hello_updates > 0
+
+
+def test_position_memo_is_effective(result):
+    """The per-instant position memo must actually absorb repeat queries
+    -- a dense delivery loop asks for the same host positions many times
+    at one timestamp."""
+    perf = result.perf
+    assert perf.pos_misses > 0
+    assert perf.pos_hits > 0
+    assert 0.0 < perf.pos_hit_rate < 1.0
+    assert perf.pos_hit_rate == perf.pos_hits / (perf.pos_hits + perf.pos_misses)
+
+
+def test_counters_are_deterministic(result):
+    rerun = run_broadcast_simulation(small_config())
+    assert rerun.perf == result.perf
+    assert rerun.perf.as_dict() == result.perf.as_dict()
+
+
+def test_fresh_perf_is_zeroed_and_hit_rate_defined():
+    perf = KernelPerf()
+    assert all(value == 0 for value in perf.as_dict().values())
+    assert perf.pos_hit_rate == 0.0  # no division by zero
+
+
+def test_merge_adds_counters(result):
+    total = KernelPerf()
+    total.merge(result.perf).merge(result.perf)
+    for name, value in result.perf.as_dict().items():
+        assert getattr(total, name) == 2 * value
+    assert total != result.perf
+    assert KernelPerf().merge(result.perf) == result.perf
+
+
+def test_as_dict_covers_all_slots(result):
+    exported = result.perf.as_dict()
+    assert set(exported) == set(KernelPerf.__slots__)
+    assert all(isinstance(v, int) for v in exported.values())
+
+
+def test_eq_rejects_other_types(result):
+    assert result.perf != 42
+    assert (result.perf == "x") is False
+
+
+def test_result_to_dict_includes_kernel_section(result):
+    exported = result_to_dict(result)
+    assert exported["perf"]["kernel"] == result.perf.as_dict()
+
+
+def test_result_to_dict_tolerates_missing_perf(result):
+    """Old cache entries predate the perf field; export must not choke."""
+    result_sans_perf = run_broadcast_simulation(small_config())
+    result_sans_perf.perf = None
+    assert result_to_dict(result_sans_perf)["perf"]["kernel"] is None
+
+
+# ------------------------------------------------------------ profiling
+
+
+def _busy_work():
+    return sum(math.sqrt(i) for i in range(2000))
+
+
+def test_profiled_captures_calls():
+    with profiled() as prof:
+        _busy_work()
+    text = format_profile(prof)
+    assert "_busy_work" in text
+    assert "cumulative" in text and "tottime" in text
+
+
+def test_format_profile_top_n_limits_rows():
+    with profiled() as prof:
+        _busy_work()
+    short = format_profile(prof, top_n=1)
+    long = format_profile(prof, top_n=50)
+    assert len(short) < len(long)
+
+
+def test_format_profile_rejects_bad_top_n():
+    with profiled() as prof:
+        pass
+    with pytest.raises(ValueError):
+        format_profile(prof, top_n=0)
+
+
+def test_profiled_disables_on_exception():
+    profile = None
+    with pytest.raises(RuntimeError):
+        with profiled() as profile:
+            raise RuntimeError("boom")
+    # The profiler was disabled on the way out: rendering works and a
+    # fresh profiled() block can start cleanly afterwards.
+    format_profile(profile, top_n=5)  # must not raise
+    with profiled():
+        _busy_work()
