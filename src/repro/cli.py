@@ -80,6 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the run's kernel counters "
         "(events, cancellations, collisions, memo hit rates, ...)",
     )
+    run_p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a structured packet-lifecycle trace to PATH",
+    )
+    run_p.add_argument(
+        "--trace-format", choices=["jsonl", "chrome"], default="jsonl",
+        help="trace file format: line-delimited JSON records, or "
+        "Chrome trace-event JSON loadable in Perfetto (default: jsonl)",
+    )
+    run_p.add_argument(
+        "--sample-dt", type=float, default=None, metavar="SECONDS",
+        help="with --trace: also sample channel/queue/host telemetry "
+        "every SECONDS of simulation time",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument(
@@ -203,15 +217,48 @@ def _run_single(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=faults,
     )
+    trace = None
+    if args.trace is not None:
+        from repro.trace import TraceRecorder
+
+        # Fail on an unwritable destination now, not after the whole
+        # simulation has run.
+        try:
+            with open(args.trace, "a"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write --trace file: {exc}", file=sys.stderr)
+            return 2
+        trace = TraceRecorder(sample_dt=args.sample_dt)
+    elif args.sample_dt is not None:
+        print("error: --sample-dt requires --trace", file=sys.stderr)
+        return 2
     if args.profile is not None:
         from repro.perf import format_profile, profiled
 
         with profiled() as prof:
-            result = run_broadcast_simulation(config)
+            result = run_broadcast_simulation(config, trace=trace)
         print(format_profile(prof, top_n=args.profile))
     else:
-        result = run_broadcast_simulation(config)
+        result = run_broadcast_simulation(config, trace=trace)
     print(result.summary())
+    if trace is not None:
+        if args.trace_format == "chrome":
+            from repro.trace import write_chrome_trace
+
+            count = write_chrome_trace(trace, args.trace)
+            print(
+                f"wrote {count} trace events to {args.trace} "
+                "(load at https://ui.perfetto.dev)"
+            )
+        else:
+            from repro.trace import write_jsonl
+
+            count = write_jsonl(trace, args.trace)
+            print(
+                f"wrote {count} trace records to {args.trace} "
+                f"(analyze: python -m repro.trace.analyze {args.trace})"
+            )
     if getattr(args, "perf", False) and result.perf is not None:
         print("\nkernel counters:")
         for name, value in result.perf.as_dict().items():

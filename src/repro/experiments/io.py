@@ -19,11 +19,21 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
+from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures.common import FigureResult, SeriesPoint
 from repro.experiments.runner import SimulationResult
+from repro.metrics.collector import (
+    FaultEventRecord,
+    MetricsCollector,
+    SimulationSummary,
+    SummaryStat,
+)
+from repro.perf import KernelPerf
+from repro.phy.channel import ChannelStats
 
 __all__ = [
     "result_to_dict",
+    "result_from_dict",
     "figure_result_to_dict",
     "figure_result_from_dict",
     "save_json",
@@ -35,14 +45,28 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
+def _stat_to_dict(stat) -> Any:
+    if stat is None:
+        return None
+    return {"mean": stat.mean, "std": stat.std, "count": stat.count}
+
+
+def _stat_from_dict(data) -> Any:
+    if data is None:
+        return None
+    return SummaryStat(mean=data["mean"], std=data["std"], count=data["count"])
+
+
 def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
     """Flatten a :class:`SimulationResult` for JSON export.
 
-    Captures the config identity, the headline metrics and the channel
-    counters -- enough to rebuild any table in the paper, not the raw
-    per-broadcast records.
+    Captures the config identity, the headline metrics with their spreads,
+    the channel counters and the fault trace -- enough to rebuild any table
+    in the paper (and a summary-grade :class:`SimulationResult` via
+    :func:`result_from_dict`), not the raw per-broadcast records.
     """
     config = result.config
+    channel = result.channel_stats
     return {
         "config": {
             "scheme": config.scheme,
@@ -63,14 +87,30 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "hellos": result.hellos,
             "broadcasts": result.stats.broadcasts,
         },
+        "stats": {
+            "reachability": _stat_to_dict(result.stats.reachability),
+            "saved_rebroadcast": _stat_to_dict(result.stats.saved_rebroadcast),
+            "latency": _stat_to_dict(result.stats.latency),
+        },
         "channel": {
-            "transmissions": result.channel_stats.transmissions,
-            "deliveries": result.channel_stats.deliveries,
-            "collisions": result.channel_stats.collisions,
-            "deaf_misses": result.channel_stats.deaf_misses,
+            "transmissions": channel.transmissions,
+            "deliveries": channel.deliveries,
+            "collisions": channel.collisions,
+            "deaf_misses": channel.deaf_misses,
+            "injected_drops": channel.injected_drops,
+            "aborted_frames": channel.aborted_frames,
+            "truncated_receptions": channel.truncated_receptions,
+            "grid_rebuilds": channel.grid_rebuilds,
+            "total_tx_airtime": channel.total_tx_airtime,
+            "total_rx_airtime": channel.total_rx_airtime,
         },
         "events_processed": result.events_processed,
         "end_time": result.end_time,
+        "backoffs_started": result.backoffs_started,
+        "broadcasts_skipped": result.broadcasts_skipped,
+        "fault_trace": [
+            [e.time, e.kind, e.host_id] for e in result.fault_trace
+        ],
         "perf": {
             "wall_time": result.wall_time,
             "events_per_sec": result.events_per_sec,
@@ -80,6 +120,92 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             "kernel": result.perf.as_dict() if result.perf else None,
         },
     }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_dict`, to summary fidelity.
+
+    The reconstructed result carries the summary statistics, channel
+    counters (airtime totals under the sentinel host id ``-1``), fault
+    trace and perf metadata -- but not the raw per-broadcast records, so
+    its ``metrics`` collector is empty.  Dicts from before a field existed
+    load with that field at its default.
+    """
+    cfg = data["config"]
+    config = ScenarioConfig(
+        scheme=cfg["scheme"],
+        scheme_params=dict(cfg.get("scheme_params", {})),
+        map_units=cfg["map_units"],
+        num_hosts=cfg["num_hosts"],
+        num_broadcasts=cfg["num_broadcasts"],
+        max_speed_kmh=cfg.get("max_speed_kmh"),
+        seed=cfg["seed"],
+    )
+    metrics_block = data.get("metrics", {})
+    broadcasts = metrics_block.get("broadcasts", 0)
+    stats_block = data.get("stats")
+    if stats_block is not None:
+        reachability = _stat_from_dict(stats_block["reachability"])
+        saved = _stat_from_dict(stats_block["saved_rebroadcast"])
+        latency = _stat_from_dict(stats_block["latency"])
+    else:
+        # Legacy dict (means only): spreads are unknowable, report 0.
+        def legacy(value):
+            if value is None or value != value:  # None or NaN
+                return None
+            return SummaryStat(mean=value, std=0.0, count=broadcasts)
+
+        reachability = legacy(metrics_block.get("re"))
+        saved = legacy(metrics_block.get("srb"))
+        latency = legacy(metrics_block.get("latency"))
+    summary = SimulationSummary(
+        reachability=reachability,
+        saved_rebroadcast=saved,
+        latency=latency,
+        broadcasts=broadcasts,
+        hello_packets_sent=metrics_block.get("hellos", 0),
+    )
+
+    ch = data.get("channel", {})
+    channel_stats = ChannelStats()
+    for name in (
+        "transmissions", "deliveries", "collisions", "deaf_misses",
+        "injected_drops", "aborted_frames", "truncated_receptions",
+        "grid_rebuilds",
+    ):
+        setattr(channel_stats, name, ch.get(name, 0))
+    # Per-host airtime breakdowns are not exported; park the totals under a
+    # sentinel id so total_tx_airtime / total_rx_airtime still report them.
+    if ch.get("total_tx_airtime"):
+        channel_stats.tx_airtime[-1] = ch["total_tx_airtime"]
+    if ch.get("total_rx_airtime"):
+        channel_stats.rx_airtime[-1] = ch["total_rx_airtime"]
+
+    perf_block = data.get("perf", {})
+    kernel = perf_block.get("kernel")
+    perf = None
+    if kernel is not None:
+        perf = KernelPerf()
+        for name in KernelPerf.__slots__:
+            setattr(perf, name, kernel.get(name, 0))
+
+    return SimulationResult(
+        config=config,
+        metrics=MetricsCollector(),
+        stats=summary,
+        channel_stats=channel_stats,
+        end_time=data["end_time"],
+        events_processed=data["events_processed"],
+        backoffs_started=data.get("backoffs_started", 0),
+        fault_trace=[
+            FaultEventRecord(time=e[0], kind=e[1], host_id=e[2])
+            for e in data.get("fault_trace", [])
+        ],
+        broadcasts_skipped=data.get("broadcasts_skipped", 0),
+        wall_time=perf_block.get("wall_time", 0.0),
+        from_cache=perf_block.get("from_cache", False),
+        perf=perf,
+    )
 
 
 def figure_result_to_dict(result: FigureResult) -> Dict[str, Any]:

@@ -5,7 +5,10 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.recorder import TraceRecorder
 
 from repro.experiments.config import ScenarioConfig
 from repro.faults.injector import FaultInjector
@@ -102,12 +105,19 @@ class SimulationResult:
 def run_broadcast_simulation(
     config: ScenarioConfig,
     network_hook: Optional[Callable[[Network], None]] = None,
+    trace: Optional["TraceRecorder"] = None,
 ) -> SimulationResult:
     """Build the world from ``config``, drive traffic, and summarize.
 
     ``network_hook`` (if given) runs after network construction but before
     the simulation starts -- used by tests to inject faults or replace
     pieces.
+
+    ``trace`` (an optional :class:`repro.trace.TraceRecorder`) arms the
+    structured tracing instrumentation across every layer; with the
+    recorder's ``sample_dt`` set, the time-series sampler runs too.  Tracing
+    is not part of :class:`ScenarioConfig` on purpose: it never changes
+    results, so cached-result digests stay comparable traced or not.
 
     Broadcast sources are picked uniformly at random per request and the
     interarrival time is uniform in [0, ``interarrival_max``], per the
@@ -136,7 +146,15 @@ def run_broadcast_simulation(
         hello_config=config.hello,
         oracle_neighbors=config.oracle_neighbors,
         capture=config.capture,
+        trace=trace,
     )
+    if trace is not None:
+        trace.meta.update(
+            scheme=config.scheme,
+            seed=config.seed,
+            num_hosts=config.num_hosts,
+            map_units=config.map_units,
+        )
     if network_hook is not None:
         network_hook(network)
     network.start()
@@ -171,8 +189,18 @@ def run_broadcast_simulation(
             config.faults,
             streams.fork("faults"),
             horizon=end_time,
+            trace_recorder=trace,
         )
         injector.install()
+
+    if trace is not None:
+        trace.meta["end_time"] = end_time
+        if trace.sample_dt is not None:
+            from repro.trace.sampler import TimeSeriesSampler
+
+            TimeSeriesSampler(scheduler, network, metrics, trace).start(
+                end_time
+            )
 
     scheduler.run(until=end_time)
 

@@ -12,7 +12,7 @@ fixed seed the trace is byte-for-byte reproducible.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.faults.loss import make_loss_model
 from repro.faults.plan import FaultPlan
@@ -34,15 +34,19 @@ class FaultInjector:
         plan: FaultPlan,
         streams: RandomStreams,
         horizon: Optional[float] = None,
+        trace_recorder: Optional[Any] = None,
     ) -> None:
         """``streams`` must be a fault-dedicated stream factory (the runner
         passes ``master_streams.fork("faults")``); ``horizon`` bounds churn
-        expansion (defaults to the churn process's own ``stop``)."""
+        expansion (defaults to the churn process's own ``stop``);
+        ``trace_recorder`` is an optional :class:`repro.trace.TraceRecorder`
+        that additionally gets one ``fault`` record per executed event."""
         self._scheduler = scheduler
         self._network = network
         self.plan = plan
         self._streams = streams
         self._horizon = horizon
+        self._trace_recorder = trace_recorder
         self.loss_model = None
         #: Executed fault events, in execution order.
         self.trace: List[FaultEventRecord] = []
@@ -111,6 +115,10 @@ class FaultInjector:
     def _record(self, kind: str, host_id: int) -> None:
         entry = FaultEventRecord(self._scheduler.now, kind, host_id)
         self.trace.append(entry)
+        if self._trace_recorder is not None:
+            self._trace_recorder.records.append(
+                (self._scheduler.now, "fault", kind, host_id)
+            )
 
     def _crash(self, host_id: int) -> None:
         host = self._network.hosts[host_id]

@@ -43,6 +43,7 @@ from repro.mac.frames import AckFrame, DataFrame
 from repro.phy.channel import Channel, RadioListener
 from repro.phy.params import PhyParams
 from repro.sim.engine import Event, Scheduler
+from repro.trace.recorder import frame_ident
 
 __all__ = ["CsmaCaMac", "MacFrameHandle", "MacReceiver", "MacStats"]
 
@@ -163,7 +164,7 @@ class CsmaCaMac(RadioListener):
         "_ack_timeout_event", "_tx_done_event", "_pending_ack_txs", "_dead",
         "_tx_seq", "_last_rx_seq", "_difs", "_slot_time", "_sifs",
         "_airtime_cache", "_ack_airtime", "_ack_timeout_delay",
-        "_notify_corrupt",
+        "_notify_corrupt", "_trace",
     )
 
     def __init__(
@@ -175,6 +176,7 @@ class CsmaCaMac(RadioListener):
         rng: random.Random,
         receiver: MacReceiver,
         retry_limit: int = DEFAULT_RETRY_LIMIT,
+        trace: Optional[Any] = None,
     ) -> None:
         self.host_id = host_id
         self._scheduler = scheduler
@@ -183,6 +185,7 @@ class CsmaCaMac(RadioListener):
         self._rng = rng
         self._receiver = receiver
         self._retry_limit = retry_limit
+        self._trace = trace
         self.stats = MacStats()
 
         # PhyParams is frozen: hoist the per-event timing constants and
@@ -262,6 +265,12 @@ class CsmaCaMac(RadioListener):
             raise RuntimeError(f"host {self.host_id}: MAC is shut down")
         self._tx_seq += 1
         handle.mac_seq = self._tx_seq
+        if self._trace is not None:
+            kind, src, seq, _hops = frame_ident(handle.frame)
+            self._trace.records.append((
+                self._scheduler._now, "mac-enqueue", self.host_id, kind,
+                src, seq,
+            ))
         self._queue.append(handle)
         if (
             self._transmitting
@@ -389,6 +398,11 @@ class CsmaCaMac(RadioListener):
                             remaining if remaining > 0 else 0
                         )
                 self._countdown_base = None
+                if self._trace is not None:
+                    self._trace.records.append((
+                        self._scheduler._now, "mac-freeze", self.host_id,
+                        self._backoff_remaining,
+                    ))
         else:
             self._others_busy = False
             now = self._scheduler._now
@@ -465,7 +479,13 @@ class CsmaCaMac(RadioListener):
 
     def _draw_backoff(self) -> int:
         self.stats.backoffs_started += 1
-        return self._rng.randint(0, self._cw)
+        slots = self._rng.randint(0, self._cw)
+        if self._trace is not None:
+            self._trace.records.append((
+                self._scheduler._now, "mac-backoff", self.host_id, slots,
+                self._cw,
+            ))
+        return slots
 
     def _freeze(self) -> None:
         """Medium went busy: cancel pending access, bank elapsed slots."""
@@ -481,6 +501,11 @@ class CsmaCaMac(RadioListener):
                 remaining = self._backoff_remaining - consumed
                 self._backoff_remaining = remaining if remaining > 0 else 0
         self._countdown_base = None
+        if self._trace is not None:
+            self._trace.records.append((
+                self._scheduler._now, "mac-freeze", self.host_id,
+                self._backoff_remaining,
+            ))
 
     def _maybe_resume(self) -> None:
         """Schedule the next access completion if the medium allows it."""

@@ -75,7 +75,7 @@ class MobileHost:
         "unicast_handler", "dup_cache", "neighbor_table", "mac",
         "hello_enabled", "_hello_started", "_hello_event",
         "_hello_muted_until", "alive", "_pos_time", "_pos", "pos_hits",
-        "pos_misses", "_airtime_cache",
+        "pos_misses", "_airtime_cache", "trace",
     )
 
     def __init__(
@@ -92,6 +92,7 @@ class MobileHost:
         hello_rng: random.Random,
         hello_config: Optional[HelloConfig] = None,
         oracle_neighbors: bool = False,
+        trace: Optional[Any] = None,
     ) -> None:
         self.host_id = host_id
         self.scheduler = scheduler
@@ -104,6 +105,9 @@ class MobileHost:
         self._hello_rng = hello_rng
         self.hello_config = hello_config or HelloConfig()
         self.oracle_neighbors = oracle_neighbors
+        #: Optional :class:`repro.trace.TraceRecorder`; ``None`` keeps
+        #: every instrumentation site on this host's paths inert.
+        self.trace = trace
 
         self.slot_time = params.slot_time
         #: Callbacks ``(packet, sender_id)`` invoked on the *first*
@@ -117,7 +121,9 @@ class MobileHost:
         self.neighbor_table = NeighborTable(
             default_interval=self.hello_config.interval
         )
-        self.mac = CsmaCaMac(host_id, scheduler, channel, params, mac_rng, self)
+        self.mac = CsmaCaMac(
+            host_id, scheduler, channel, params, mac_rng, self, trace=trace
+        )
         self.hello_enabled = self.hello_config.resolved_enabled(scheme)
         self._hello_started = False
         self._hello_event = None
@@ -273,10 +279,21 @@ class MobileHost:
             self.neighbor_table.update_from_hello(frame, self.scheduler.now)
             return
         if isinstance(frame, BroadcastPacket):
+            trace = self.trace
             if frame.key in self.dup_cache:
+                if trace is not None:
+                    trace.records.append((
+                        self.scheduler._now, "dup", frame.source_id,
+                        frame.seq, self.host_id, sender_id,
+                    ))
                 self.scheme.on_hear_again(frame, sender_id, frame.tx_position)
             else:
                 self.dup_cache.add(frame.key)
+                if trace is not None:
+                    trace.records.append((
+                        self.scheduler._now, "receive", frame.source_id,
+                        frame.seq, self.host_id, sender_id,
+                    ))
                 self.metrics.on_receive(frame.key, self.host_id, self.scheduler.now)
                 for observer in self.packet_observers:
                     observer(frame, sender_id)

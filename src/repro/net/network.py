@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.connectivity import reachable_set
@@ -45,6 +45,7 @@ class Network:
         drop_predicate: Optional[Callable[[int, int], bool]] = None,
         mobility_factory: Optional[Callable[[int], "MobilityModel"]] = None,
         capture: Optional["CaptureModel"] = None,
+        trace: Optional[Any] = None,
     ) -> None:
         if num_hosts < 1:
             raise ValueError(f"need at least one host, got {num_hosts}")
@@ -52,6 +53,7 @@ class Network:
         self.params = params
         self.world = world
         self.metrics = metrics
+        self.trace = trace
         self.hosts: List[MobileHost] = []
         # A custom mobility_factory gives no speed guarantee, so the
         # channel's spatial index stays off (full scans); the built-in
@@ -64,7 +66,7 @@ class Network:
             speed_bound = kmh_to_ms(max_speed_kmh)
         self.channel = Channel(
             scheduler, params, self._position_of, drop_predicate,
-            capture=capture, max_speed_ms=speed_bound,
+            capture=capture, max_speed_ms=speed_bound, trace=trace,
         )
         self._seq = 0
 
@@ -93,6 +95,7 @@ class Network:
                 hello_rng=streams.stream(f"hello/{host_id}"),
                 hello_config=hello_config,
                 oracle_neighbors=oracle_neighbors,
+                trace=trace,
             )
             self.hosts.append(host)
 
@@ -181,6 +184,10 @@ class Network:
             len(reachable),
             reachable_set=frozenset(reachable),
         )
+        if self.trace is not None:
+            self.trace.records.append(
+                (self.scheduler._now, "originate", source_id, seq, source_id)
+            )
         packet = source.initiate_broadcast(seq)
         assert packet.key == key
         return packet

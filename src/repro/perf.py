@@ -21,7 +21,12 @@ Counter semantics
 ``events_processed`` counts the callbacks that actually ran;
 ``events_cancelled`` the events withdrawn before firing (MAC backoff
 freezes, scheme S5 inhibits); ``heap_compactions`` how many times the
-scheduler reclaimed cancelled husks in bulk.  ``pos_hits``/``pos_misses``
+scheduler reclaimed cancelled husks in bulk.
+``events_pending_final``/``cancelled_pending_final`` are the heap residue
+(entries left on the heap, and how many of those are cancelled husks) when
+the run ended -- including runs that quiesce early under faults -- closing
+the disposition invariant ``scheduled == processed + cancelled +
+(pending_final - cancelled_pending_final)``.  ``pos_hits``/``pos_misses``
 describe the per-instant position memo: a hit returns the tuple cached at
 the current timestamp, a miss evaluates the mobility model.
 ``hello_updates``/``neighbor_expirations`` count HELLO-driven neighbor
@@ -47,7 +52,7 @@ class KernelPerf:
     __slots__ = (
         # scheduler
         "events_scheduled", "events_processed", "events_cancelled",
-        "heap_compactions",
+        "heap_compactions", "events_pending_final", "cancelled_pending_final",
         # channel
         "transmissions", "deliveries", "collisions", "deaf_misses",
         "grid_rebuilds",
@@ -79,6 +84,14 @@ class KernelPerf:
         perf.events_processed = scheduler.events_processed
         perf.events_cancelled = scheduler.events_cancelled
         perf.heap_compactions = scheduler.compactions
+        # Heap residue at collection time.  A run that quiesces early (e.g.
+        # every host crashed) still reports these: collect() runs after
+        # Scheduler.run() returns regardless of why the heap drained, so
+        # events_scheduled == events_processed + events_cancelled
+        #                     + (events_pending_final - cancelled_pending_final)
+        # holds as the disposition invariant for every run.
+        perf.events_pending_final = scheduler.pending
+        perf.cancelled_pending_final = scheduler.cancelled_pending
 
         ch = network.channel.stats
         perf.transmissions = ch.transmissions

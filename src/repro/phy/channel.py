@@ -72,6 +72,7 @@ from repro.phy.capture import CaptureModel
 from repro.phy.params import PhyParams
 from repro.sim.engine import Scheduler
 from repro.sim.trace import NullTracer, Tracer
+from repro.trace.recorder import frame_ident
 
 __all__ = ["Channel", "ChannelStats", "RadioListener"]
 
@@ -211,6 +212,7 @@ class Channel:
         tracer: Optional[Tracer] = None,
         capture: Optional["CaptureModel"] = None,
         max_speed_ms: Optional[float] = None,
+        trace: Optional[Any] = None,
     ) -> None:
         self._scheduler = scheduler
         self._params = params
@@ -220,6 +222,10 @@ class Channel:
         # Per-reception tracer dispatch is pure overhead with the default
         # NullTracer; the hot paths check this flag instead of calling it.
         self._tracing = not isinstance(self._tracer, NullTracer)
+        #: Structured :class:`repro.trace.TraceRecorder` sink (orthogonal to
+        #: the legacy per-test ``tracer`` above); ``None`` keeps the guarded
+        #: emission sites inert.
+        self._trace = trace
         self._capture = capture
         self._radio_radius_sq = params.radio_radius * params.radio_radius
         self._listeners: Dict[int, RadioListener] = {}
@@ -396,6 +402,11 @@ class Channel:
         self.stats.add_tx_airtime(sender_id, -remainder)
         if self._tracing:
             self._tracer.emit(now, "tx-abort", sender=sender_id)
+        if self._trace is not None:
+            kind, src, seq, _hops = frame_ident(tx.frame)
+            self._trace.records.append(
+                (now, "tx-abort", sender_id, kind, src, seq)
+            )
         newly_idle: List[int] = []
         for host_id in tx.receiver_ids:
             inbox = self._incoming.get(host_id)
@@ -555,6 +566,12 @@ class Channel:
             stats.collisions += collisions
         if injected_drops:
             stats.injected_drops += injected_drops
+        if self._trace is not None:
+            kind, src, seq, hops = frame_ident(frame)
+            self._trace.records.append((
+                now, "tx-start", sender_id, kind, src, seq, hops, duration,
+                len(receiver_ids),
+            ))
         if newly_busy:
             scheduler.schedule_at(now, self._notify_busy, newly_busy)
         tx.end_event = scheduler.schedule_at(
@@ -621,6 +638,12 @@ class Channel:
             if listener is not None:
                 listener.on_medium_state(False)
         tracing = self._tracing
+        trace = self._trace
+        if trace is not None:
+            # One ident per transmission covers every reception below.
+            kind, src, seq, _hops = frame_ident(tx.frame)
+            trace_records = trace.records
+            now = self._scheduler._now
         deliveries = 0
         for reception in completed:
             host_id = reception[4]
@@ -633,6 +656,10 @@ class Channel:
                         self._scheduler.now, "rx-corrupted",
                         sender=sender_id, receiver=host_id,
                     )
+                if trace is not None:
+                    trace_records.append(
+                        (now, "rx-corrupt", sender_id, host_id, kind, src, seq)
+                    )
                 listener.on_frame_corrupted(reception[_RX_FRAME], sender_id)
             else:
                 deliveries += 1
@@ -640,6 +667,10 @@ class Channel:
                     self._tracer.emit(
                         self._scheduler.now, "rx",
                         sender=sender_id, receiver=host_id,
+                    )
+                if trace is not None:
+                    trace_records.append(
+                        (now, "rx", sender_id, host_id, kind, src, seq)
                     )
                 listener.on_frame_received(reception[_RX_FRAME], sender_id)
         if deliveries:

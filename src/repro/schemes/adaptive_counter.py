@@ -40,3 +40,7 @@ class AdaptiveCounterScheme(CounterScheme):
     def should_inhibit(self, state: PendingBroadcast) -> bool:
         n = self.host.neighbor_count()
         return state.assessment[0] >= self.threshold_fn(n)
+
+    def trace_provenance(self, state: PendingBroadcast):
+        n = self.host.neighbor_count()
+        return (n, self.threshold_fn(n), state.assessment[0])

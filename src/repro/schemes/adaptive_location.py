@@ -32,3 +32,7 @@ class AdaptiveLocationScheme(LocationScheme):
 
     def current_threshold(self) -> float:
         return self.threshold_fn(self.host.neighbor_count())
+
+    def trace_provenance(self, state):
+        n = self.host.neighbor_count()
+        return (n, self.threshold_fn(n), state.assessment.ac)

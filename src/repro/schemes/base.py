@@ -192,7 +192,30 @@ class DeferredRebroadcastScheme(RebroadcastScheme):
     def should_inhibit(self, state: PendingBroadcast) -> bool:
         """Threshold test, applied after S1 and after every S4 update."""
 
+    def trace_provenance(
+        self, state: PendingBroadcast
+    ) -> Tuple[Optional[int], Optional[float], Optional[float]]:
+        """``(n, threshold, observed)`` for suppression-decision records.
+
+        ``n`` is the neighbor count the threshold was derived from (``None``
+        for fixed-threshold schemes), ``threshold`` the scheme's current
+        ``C(n)``/``A(n)``/``D`` value and ``observed`` the assessment it is
+        compared against.  Only consulted on traced runs; the default (used
+        by flooding) reports nothing.
+        """
+        return (None, None, None)
+
     # ------------------------------------------------------- skeleton
+
+    def _trace_decision(
+        self, trace: Any, state: PendingBroadcast, verdict: str
+    ) -> None:
+        n, threshold, observed = self.trace_provenance(state)
+        key = state.packet.key
+        trace.records.append((
+            self.host.scheduler._now, "decision", key[0], key[1],
+            self._host_id(), self.name, verdict, n, threshold, observed,
+        ))
 
     def pending_count(self) -> int:
         """Packets currently in the S2/S4 waiting stage (for tests)."""
@@ -220,7 +243,10 @@ class DeferredRebroadcastScheme(RebroadcastScheme):
         state = PendingBroadcast(
             packet, self.init_assessment(packet, sender_id, sender_position)
         )
+        trace = getattr(self.host, "trace", None)
         if self.should_inhibit(state):
+            if trace is not None:
+                self._trace_decision(trace, state, "inhibit-immediate")
             self.host.record_inhibit(packet.key)
             return
         self._pending[packet.key] = state
@@ -230,6 +256,13 @@ class DeferredRebroadcastScheme(RebroadcastScheme):
             if self.jitter_slots > 0
             else 0.0
         )
+        if trace is not None:
+            self._trace_decision(trace, state, "defer")
+            key = packet.key
+            trace.records.append((
+                self.host.scheduler._now, "rad-wait", key[0], key[1],
+                self._host_id(), jitter,
+            ))
         state.jitter_event = self.host.scheduler.schedule(
             jitter, self._submit, state
         )
@@ -246,8 +279,15 @@ class DeferredRebroadcastScheme(RebroadcastScheme):
             # from rebroadcasting P in the future".
             return
         self.update_assessment(state, sender_id, sender_position)
+        trace = getattr(self.host, "trace", None)
         if self.should_inhibit(state):
-            self._cancel(state)
+            cancelled = self._cancel(state)
+            if trace is not None:
+                self._trace_decision(
+                    trace, state, "inhibit" if cancelled else "cancel-too-late"
+                )
+        elif trace is not None:
+            self._trace_decision(trace, state, "assess")
 
     def _submit(self, state: PendingBroadcast) -> None:
         state.jitter_event = None
@@ -261,17 +301,22 @@ class DeferredRebroadcastScheme(RebroadcastScheme):
     def _on_air(self, state: PendingBroadcast) -> None:
         # S3: the packet is on the air; the decision is final.
         self._pending.pop(state.packet.key, None)
+        trace = getattr(self.host, "trace", None)
+        if trace is not None:
+            self._trace_decision(trace, state, "rebroadcast")
 
-    def _cancel(self, state: PendingBroadcast) -> None:
+    def _cancel(self, state: PendingBroadcast) -> bool:
         # S5: withdraw the rebroadcast wherever it currently waits.
+        # Returns False when the frame already won the race to the air.
         if state.jitter_event is not None:
             state.jitter_event.cancel()
             state.jitter_event = None
         if state.mac_handle is not None and not state.mac_handle.cancel():
             # Too late: the frame is already on the air (benign race).
-            return
+            return False
         self._pending.pop(state.packet.key, None)
         self.host.record_inhibit(state.packet.key)
+        return True
 
     def _host_id(self) -> int:
         return self.host.host_id  # type: ignore[attr-defined]

@@ -63,3 +63,6 @@ class DistanceScheme(DeferredRebroadcastScheme):
 
     def should_inhibit(self, state: PendingBroadcast) -> bool:
         return state.assessment[0] < self.threshold
+
+    def trace_provenance(self, state: PendingBroadcast):
+        return (None, self.threshold, state.assessment[0])

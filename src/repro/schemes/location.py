@@ -87,3 +87,6 @@ class LocationScheme(DeferredRebroadcastScheme):
 
     def should_inhibit(self, state: PendingBroadcast) -> bool:
         return state.assessment.ac < self.current_threshold()
+
+    def trace_provenance(self, state: PendingBroadcast):
+        return (None, self.current_threshold(), state.assessment.ac)

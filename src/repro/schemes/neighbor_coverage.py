@@ -75,3 +75,7 @@ class NeighborCoverageScheme(DeferredRebroadcastScheme):
 
     def should_inhibit(self, state: PendingBroadcast) -> bool:
         return not state.assessment
+
+    def trace_provenance(self, state: PendingBroadcast):
+        # The "threshold" is the empty pending set: inhibit iff |T| == 0.
+        return (self.host.neighbor_count(), 0, len(state.assessment))

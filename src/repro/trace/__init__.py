@@ -1,0 +1,60 @@
+"""Opt-in structured tracing for simulation runs.
+
+Pass a :class:`TraceRecorder` as the ``trace`` argument of
+:func:`repro.experiments.runner.run_broadcast_simulation` (or use the CLI
+``run --trace out.jsonl``).  With no recorder the instrumented layers are
+bit-identical to an untraced build; with one, they append sim-time-stamped
+tuples describing packet lifecycles, suppression decisions, MAC/channel
+activity, faults, and (optionally) periodic telemetry samples.
+
+See :mod:`repro.trace.schema` for the record catalogue,
+:mod:`repro.trace.export` for JSONL / Chrome trace-event output and
+:mod:`repro.trace.analyze` for per-broadcast reconstruction.
+"""
+
+from repro.trace.analyze import (
+    BroadcastTrace,
+    TraceAnalysis,
+    analyze_records,
+    analyze_recorder,
+    load_jsonl,
+)
+from repro.trace.export import (
+    chrome_trace,
+    iter_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.recorder import TraceRecorder, frame_ident
+from repro.trace.sampler import TimeSeriesSampler
+from repro.trace.schema import (
+    DECISION_VERDICTS,
+    SCHEMA,
+    SCHEMA_VERSION,
+    TraceSchemaError,
+    record_to_dict,
+    validate_jsonl,
+    validate_record,
+)
+
+__all__ = [
+    "TraceRecorder",
+    "frame_ident",
+    "TimeSeriesSampler",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "DECISION_VERDICTS",
+    "TraceSchemaError",
+    "record_to_dict",
+    "validate_record",
+    "validate_jsonl",
+    "iter_jsonl",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "BroadcastTrace",
+    "TraceAnalysis",
+    "analyze_recorder",
+    "analyze_records",
+    "load_jsonl",
+]

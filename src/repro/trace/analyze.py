@@ -1,0 +1,278 @@
+"""Per-broadcast reconstruction from a trace.
+
+Turns the flat record stream back into causal stories: one
+:class:`BroadcastTrace` per logical broadcast ``(src, seq)`` with its
+reception tree, suppression breakdown by verdict, redundancy, and
+time-to-quiescence.  The counts reconstructed here are defined to match
+the metrics layer exactly -- ``reached`` equals the SRB denominator
+``r`` and ``rebroadcasts`` the numerator ``t`` reported by
+:class:`~repro.metrics.collector.MetricsCollector` for the same run
+(asserted by the integration tests).
+
+Use :func:`analyze_recorder` on an in-memory
+:class:`~repro.trace.recorder.TraceRecorder` or :func:`load_jsonl` +
+:func:`analyze_records` on an exported file.  ``python -m
+repro.trace.analyze TRACE.jsonl`` prints a human summary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.trace.recorder import TraceRecorder
+from repro.trace.schema import record_to_dict, validate_record
+
+__all__ = [
+    "BroadcastTrace",
+    "TraceAnalysis",
+    "analyze_recorder",
+    "analyze_records",
+    "load_jsonl",
+]
+
+Key = Tuple[int, int]
+
+
+@dataclass
+class BroadcastTrace:
+    """Everything the trace says about one logical broadcast."""
+
+    source: int
+    seq: int
+    origin_time: float = 0.0
+    #: host -> (first-hear time, sender it heard it from)
+    receives: Dict[int, Tuple[float, int]] = field(default_factory=dict)
+    #: host -> time its own copy went on the air (decision "rebroadcast")
+    rebroadcasts: Dict[int, float] = field(default_factory=dict)
+    #: host -> (time, verdict) for terminal suppression verdicts
+    suppressions: Dict[int, Tuple[float, str]] = field(default_factory=dict)
+    duplicate_hears: int = 0
+    rx_clean: int = 0
+    rx_corrupt: int = 0
+    last_event_time: float = 0.0
+
+    @property
+    def key(self) -> Key:
+        return (self.source, self.seq)
+
+    @property
+    def reached(self) -> int:
+        """Hosts that first-heard the packet (the SRB denominator ``r``)."""
+        return len(self.receives)
+
+    @property
+    def transmissions(self) -> int:
+        """Non-source copies put on the air (the SRB numerator ``t``)."""
+        return len(self.rebroadcasts)
+
+    @property
+    def srb(self) -> float:
+        """Saved ReBroadcast ``1 - t/r`` (paper Sec. 5); NaN if unreached."""
+        if not self.receives:
+            return float("nan")
+        return 1.0 - len(self.rebroadcasts) / len(self.receives)
+
+    @property
+    def redundancy(self) -> float:
+        """Mean hears per reached host (duplicates / reach, + the first)."""
+        if not self.receives:
+            return float("nan")
+        return 1.0 + self.duplicate_hears / len(self.receives)
+
+    @property
+    def time_to_quiescence(self) -> float:
+        """Last trace event attributed to this broadcast minus origination."""
+        return self.last_event_time - self.origin_time
+
+    def suppression_breakdown(self) -> Dict[str, int]:
+        """verdict -> host count among suppressed hosts."""
+        out: Dict[str, int] = {}
+        for _, verdict in self.suppressions.values():
+            out[verdict] = out.get(verdict, 0) + 1
+        return out
+
+    def tree(self) -> Dict[int, Optional[int]]:
+        """host -> parent (the sender it first heard from; source -> None)."""
+        parents: Dict[int, Optional[int]] = {self.source: None}
+        for host, (_, sender) in self.receives.items():
+            parents[host] = sender
+        return parents
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "src": self.source,
+            "seq": self.seq,
+            "origin_time": self.origin_time,
+            "reached": self.reached,
+            "rebroadcasts": self.transmissions,
+            "suppressed": len(self.suppressions),
+            "srb": self.srb,
+            "redundancy": self.redundancy,
+            "duplicate_hears": self.duplicate_hears,
+            "rx_corrupt": self.rx_corrupt,
+            "time_to_quiescence": self.time_to_quiescence,
+            "suppression_breakdown": self.suppression_breakdown(),
+        }
+
+
+@dataclass
+class TraceAnalysis:
+    """Whole-trace rollup: per-broadcast trees plus fault timeline."""
+
+    broadcasts: Dict[Key, BroadcastTrace] = field(default_factory=dict)
+    faults: List[Tuple[float, str, int]] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_reached(self) -> int:
+        return sum(b.reached for b in self.broadcasts.values())
+
+    @property
+    def total_rebroadcasts(self) -> int:
+        return sum(b.transmissions for b in self.broadcasts.values())
+
+    def suppression_breakdown(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for b in self.broadcasts.values():
+            for verdict, count in b.suppression_breakdown().items():
+                out[verdict] = out.get(verdict, 0) + count
+        return out
+
+    def report(self) -> str:
+        lines = []
+        if self.meta:
+            pairs = ", ".join(
+                f"{k}={self.meta[k]}" for k in sorted(self.meta)
+                if k not in ("ev", "schema_version")
+            )
+            lines.append(f"trace: {pairs}")
+        lines.append(
+            f"{len(self.broadcasts)} broadcasts, "
+            f"{self.total_reached} first-hears, "
+            f"{self.total_rebroadcasts} rebroadcasts, "
+            f"{len(self.faults)} fault events"
+        )
+        for key in sorted(self.broadcasts):
+            s = self.broadcasts[key].summary()
+            breakdown = ", ".join(
+                f"{v}:{n}" for v, n in sorted(s["suppression_breakdown"].items())
+            ) or "none"
+            lines.append(
+                f"  ({s['src']},{s['seq']}) t={s['origin_time']:.3f}s: "
+                f"reached {s['reached']}, rebroadcast {s['rebroadcasts']}, "
+                f"srb={s['srb']:.3f}, redundancy={s['redundancy']:.2f}, "
+                f"quiescence={s['time_to_quiescence'] * 1e3:.1f}ms, "
+                f"suppressed [{breakdown}]"
+            )
+        return "\n".join(lines)
+
+
+_TERMINAL_SUPPRESSIONS = ("inhibit-immediate", "inhibit")
+
+
+def analyze_records(
+    records: Iterable[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> TraceAnalysis:
+    """Build a :class:`TraceAnalysis` from schema-expanded record dicts."""
+    analysis = TraceAnalysis(meta=dict(meta or {}))
+    broadcasts = analysis.broadcasts
+
+    def bcast(src: int, seq: int) -> BroadcastTrace:
+        key = (src, seq)
+        b = broadcasts.get(key)
+        if b is None:
+            b = broadcasts[key] = BroadcastTrace(source=src, seq=seq)
+        return b
+
+    for d in records:
+        ev = d["ev"]
+        if ev == "trace-meta":
+            analysis.meta.update(d)
+            continue
+        t = d["t"]
+        if ev == "originate":
+            b = bcast(d["src"], d["seq"])
+            b.origin_time = t
+            b.last_event_time = max(b.last_event_time, t)
+        elif ev == "receive":
+            b = bcast(d["src"], d["seq"])
+            b.receives.setdefault(d["host"], (t, d["sender"]))
+            b.last_event_time = max(b.last_event_time, t)
+        elif ev == "dup":
+            b = bcast(d["src"], d["seq"])
+            b.duplicate_hears += 1
+            b.last_event_time = max(b.last_event_time, t)
+        elif ev == "decision":
+            b = bcast(d["src"], d["seq"])
+            verdict = d["verdict"]
+            if verdict == "rebroadcast":
+                b.rebroadcasts.setdefault(d["host"], t)
+                b.suppressions.pop(d["host"], None)
+            elif verdict in _TERMINAL_SUPPRESSIONS:
+                b.suppressions[d["host"]] = (t, verdict)
+            # "defer"/"assess"/"cancel-too-late" are intermediate steps;
+            # the terminal verdict for the host arrives later (or never,
+            # if the run ended mid-assessment).
+            b.last_event_time = max(b.last_event_time, t)
+        elif ev in ("rad-wait", "tx-abort", "mac-enqueue"):
+            src, seq = d.get("src", -1), d.get("seq", -1)
+            if src is not None and src >= 0 and seq >= 0:
+                b = bcast(src, seq)
+                b.last_event_time = max(b.last_event_time, t)
+        elif ev in ("rx", "rx-corrupt"):
+            if d["src"] >= 0 and d["seq"] >= 0:
+                b = bcast(d["src"], d["seq"])
+                if ev == "rx":
+                    b.rx_clean += 1
+                else:
+                    b.rx_corrupt += 1
+                b.last_event_time = max(b.last_event_time, t)
+        elif ev == "tx-start":
+            if d["kind"] == "bcast":
+                b = bcast(d["src"], d["seq"])
+                b.last_event_time = max(b.last_event_time, t + d["duration"])
+        elif ev == "fault":
+            analysis.faults.append((t, d["kind"], d["host"]))
+    return analysis
+
+
+def analyze_recorder(recorder: TraceRecorder) -> TraceAnalysis:
+    """Analyze an in-memory :class:`TraceRecorder`."""
+    return analyze_records(
+        (record_to_dict(r) for r in recorder.records), meta=recorder.meta
+    )
+
+
+def load_jsonl(path: Union[str, Path]) -> TraceAnalysis:
+    """Load and analyze an exported JSONL trace file (validates records)."""
+    def records():
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                validate_record(obj)
+                yield obj
+
+    return analyze_records(records())
+
+
+def main(argv: List[str]) -> int:  # pragma: no cover - exercised by CI
+    """``python -m repro.trace.analyze TRACE.jsonl`` -- print a summary."""
+    if not argv:
+        print("usage: python -m repro.trace.analyze TRACE.jsonl [...]")
+        return 2
+    for path in argv:
+        print(load_jsonl(path).report())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

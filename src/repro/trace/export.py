@@ -1,0 +1,194 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+JSONL
+-----
+One JSON object per line.  The first line is a ``trace-meta`` header
+(schema version + run metadata); every following line is one record with
+``t`` (simulation seconds), ``ev`` (category) and the category's schema
+fields.  Validate with :func:`repro.trace.schema.validate_jsonl`.
+
+Chrome trace-event format
+-------------------------
+A single JSON object with ``traceEvents``, loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  Mapping:
+
+- one process (pid 0 = "the medium"), one thread track per host;
+- transmissions (``tx-start``) and RAD waits (``rad-wait``) become ``X``
+  complete events (spans with duration);
+- receptions, decisions, MAC steps and faults become ``i`` instants on the
+  owning host's track;
+- ``sample`` records become ``C`` counter tracks (channel, queues, hosts,
+  cumulative totals).
+
+Timestamps are converted from simulation seconds to the format's
+microseconds; everything stays simulation-time (no wall clock).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+from repro.trace.recorder import TraceRecorder
+from repro.trace.schema import SCHEMA_VERSION, record_to_dict
+
+__all__ = [
+    "iter_jsonl",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------- JSONL
+
+
+def iter_jsonl(recorder: TraceRecorder) -> Iterator[str]:
+    """Yield the JSONL lines (header first) for a recorded trace."""
+    header = {"ev": "trace-meta", "schema_version": SCHEMA_VERSION}
+    header.update(recorder.meta)
+    yield json.dumps(header, sort_keys=True)
+    for record in recorder.records:
+        yield json.dumps(record_to_dict(record))
+
+
+def write_jsonl(recorder: TraceRecorder, path: PathLike) -> int:
+    """Write the trace as JSONL; returns the number of records written."""
+    count = 0
+    with open(path, "w") as fh:
+        for line in iter_jsonl(recorder):
+            fh.write(line)
+            fh.write("\n")
+            count += 1
+    return count - 1  # header excluded
+
+
+# ------------------------------------------------------- Chrome trace JSON
+
+_MEDIUM_PID = 0
+#: Synthetic tid for medium-wide instants (faults without a live track).
+_MEDIUM_TID = -1
+
+
+def _span(name: str, cat: str, ts: float, dur: float, tid: int,
+          args: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+        "pid": _MEDIUM_PID, "tid": tid, "args": args,
+    }
+
+
+def _instant(name: str, cat: str, ts: float, tid: int,
+             args: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": name, "cat": cat, "ph": "i", "s": "t", "ts": ts,
+        "pid": _MEDIUM_PID, "tid": tid, "args": args,
+    }
+
+
+def _counter(name: str, ts: float, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": name, "ph": "C", "ts": ts, "pid": _MEDIUM_PID,
+        "tid": _MEDIUM_TID, "args": args,
+    }
+
+
+def chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
+    """Convert a recorded trace to a Chrome trace-event document."""
+    events: List[Dict[str, Any]] = []
+    tids = set()
+
+    for record in recorder.records:
+        d = record_to_dict(record)
+        ev = d["ev"]
+        ts = d["t"] * 1e6  # seconds -> microseconds
+
+        if ev == "tx-start":
+            tids.add(d["host"])
+            key = f"({d['src']},{d['seq']})" if d["kind"] == "bcast" else ""
+            events.append(_span(
+                f"tx {d['kind']} {key}".rstrip(), "tx", ts,
+                d["duration"] * 1e6, d["host"],
+                {"src": d["src"], "seq": d["seq"], "hops": d["hops"],
+                 "receivers": d["receivers"]},
+            ))
+        elif ev == "rad-wait":
+            tids.add(d["host"])
+            events.append(_span(
+                f"rad-wait ({d['src']},{d['seq']})", "scheme", ts,
+                d["jitter"] * 1e6, d["host"],
+                {"src": d["src"], "seq": d["seq"]},
+            ))
+        elif ev in ("rx", "rx-corrupt"):
+            tids.add(d["receiver"])
+            events.append(_instant(
+                f"{ev} {d['kind']} ({d['src']},{d['seq']})", ev, ts,
+                d["receiver"], {"sender": d["sender"]},
+            ))
+        elif ev == "decision":
+            tids.add(d["host"])
+            events.append(_instant(
+                f"{d['verdict']} ({d['src']},{d['seq']})", "decision", ts,
+                d["host"],
+                {"scheme": d["scheme"], "n": d["n"],
+                 "threshold": d["threshold"], "observed": d["observed"]},
+            ))
+        elif ev in ("originate", "receive", "dup"):
+            tids.add(d["host"])
+            events.append(_instant(
+                f"{ev} ({d['src']},{d['seq']})", ev, ts, d["host"],
+                {"sender": d.get("sender")},
+            ))
+        elif ev in ("mac-enqueue", "mac-backoff", "mac-freeze", "tx-abort"):
+            tids.add(d["host"])
+            args = {k: v for k, v in d.items()
+                    if k not in ("t", "ev", "host")}
+            events.append(_instant(ev, "mac", ts, d["host"], args))
+        elif ev == "fault":
+            tids.add(d["host"])
+            events.append(_instant(
+                f"fault:{d['kind']}", "fault", ts, d["host"],
+                {"kind": d["kind"]},
+            ))
+        elif ev == "sample":
+            events.append(_counter("channel", ts, {
+                "busy_frac": d["busy_frac"], "in_flight": d["in_flight"],
+            }))
+            events.append(_counter("queues", ts, {
+                "total": d["queue_total"], "max": d["queue_max"],
+            }))
+            events.append(_counter("hosts", ts, {"alive": d["alive"]}))
+            events.append(_counter("cumulative", ts, {
+                "transmissions": d["transmissions"],
+                "deliveries": d["deliveries"],
+                "collisions": d["collisions"],
+                "receives": d["receives"],
+            }))
+        # queue-depths: folded into the "queues" counters above.
+
+    name_events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _MEDIUM_PID,
+        "args": {"name": "repro-manet"},
+    }]
+    for tid in sorted(tids):
+        name_events.append({
+            "name": "thread_name", "ph": "M", "pid": _MEDIUM_PID,
+            "tid": tid,
+            "args": {"name": f"host {tid}" if tid >= 0 else "medium"},
+        })
+    return {
+        "traceEvents": name_events + events,
+        "displayTimeUnit": "ms",
+        "metadata": dict(recorder.meta, schema_version=SCHEMA_VERSION),
+    }
+
+
+def write_chrome_trace(recorder: TraceRecorder, path: PathLike) -> int:
+    """Write the Perfetto-loadable JSON; returns the trace-event count."""
+    doc = chrome_trace(recorder)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(doc["traceEvents"])

@@ -1,0 +1,197 @@
+"""Trace record schema: category -> field names, plus JSONL validation.
+
+Hot-path emitters append **bare tuples** ``(time, category, *values)``
+straight onto :attr:`~repro.trace.recorder.TraceRecorder.records`; this
+module is the single source of truth for what the positional values mean.
+Exporters and the analyzer expand tuples into dicts through :data:`SCHEMA`,
+and the CI smoke job validates exported JSONL against it.
+
+Record categories
+-----------------
+Packet lifecycle (keyed by the global broadcast id ``(src, seq)`` plus the
+hop id ``hops`` where the event is per-copy):
+
+- ``originate`` -- a source created a new logical broadcast.
+- ``receive`` -- first successful reception of a broadcast at a host.
+- ``dup`` -- duplicate-cache hit (the host heard the packet again).
+- ``decision`` -- one suppression-decision step with full provenance
+  (scheme name, neighbor count ``n``, threshold ``C(n)``/``A(n)`` -- or the
+  pending-set floor 0 for NC -- the observed counter/coverage/pending size,
+  and the verdict).  Verdicts: ``inhibit-immediate`` (S1), ``defer`` (S2
+  entered), ``assess`` (S4 update below threshold), ``inhibit`` (S5),
+  ``cancel-too-late`` (S5 lost the race to the air) and ``rebroadcast``
+  (S3, the copy is on the air).
+- ``rad-wait`` -- the random-assessment-delay drawn at S2.
+- ``mac-enqueue`` / ``mac-backoff`` / ``mac-freeze`` -- MAC queue and
+  contention steps.
+- ``tx-start`` / ``tx-abort`` -- a frame entering / being truncated on the
+  medium (``receivers`` is the frozen receiver-set size).
+- ``rx`` / ``rx-corrupt`` -- per-receiver frame completion, clean or
+  garbled (collision, half-duplex deafness or injected loss).
+- ``fault`` -- an executed fault-plan event (crash/recover/hello-mute).
+- ``sample`` / ``queue-depths`` -- time-series telemetry emitted by the
+  :class:`~repro.trace.sampler.TimeSeriesSampler`.
+
+``kind`` distinguishes frame payloads: ``bcast``, ``hello``, or the lowered
+class name for anything else (e.g. ``ackframe``).  ``src``/``seq`` are
+``-1`` for frames that are not broadcast copies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "DECISION_VERDICTS",
+    "record_to_dict",
+    "validate_record",
+    "validate_jsonl",
+    "TraceSchemaError",
+]
+
+SCHEMA_VERSION = 1
+
+#: category -> ordered field names following ``(time, category)``.
+SCHEMA: Dict[str, Tuple[str, ...]] = {
+    # net layer
+    "originate": ("src", "seq", "host"),
+    "receive": ("src", "seq", "host", "sender"),
+    "dup": ("src", "seq", "host", "sender"),
+    # scheme layer
+    "decision": (
+        "src", "seq", "host", "scheme", "verdict", "n", "threshold",
+        "observed",
+    ),
+    "rad-wait": ("src", "seq", "host", "jitter"),
+    # MAC layer
+    "mac-enqueue": ("host", "kind", "src", "seq"),
+    "mac-backoff": ("host", "slots", "cw"),
+    "mac-freeze": ("host", "remaining"),
+    # channel layer
+    "tx-start": ("host", "kind", "src", "seq", "hops", "duration",
+                 "receivers"),
+    "tx-abort": ("host", "kind", "src", "seq"),
+    "rx": ("sender", "receiver", "kind", "src", "seq"),
+    "rx-corrupt": ("sender", "receiver", "kind", "src", "seq"),
+    # faults
+    "fault": ("kind", "host"),
+    # time-series sampler
+    "sample": (
+        "busy_frac", "in_flight", "queue_total", "queue_max", "alive",
+        "transmissions", "deliveries", "collisions", "receives",
+    ),
+    "queue-depths": ("depths",),
+}
+
+DECISION_VERDICTS = frozenset({
+    "inhibit-immediate", "defer", "assess", "inhibit", "cancel-too-late",
+    "rebroadcast",
+})
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not conform to :data:`SCHEMA`."""
+
+
+def record_to_dict(record: Tuple[Any, ...]) -> Dict[str, Any]:
+    """Expand one ``(time, category, *values)`` tuple into a dict."""
+    category = record[1]
+    fields = SCHEMA.get(category)
+    if fields is None:
+        raise TraceSchemaError(f"unknown trace category {category!r}")
+    values = record[2:]
+    if len(values) != len(fields):
+        raise TraceSchemaError(
+            f"{category}: expected {len(fields)} fields {fields}, "
+            f"got {len(values)}"
+        )
+    out: Dict[str, Any] = {"t": record[0], "ev": category}
+    out.update(zip(fields, values))
+    return out
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_record(obj: Dict[str, Any]) -> None:
+    """Validate one JSONL record dict; raises :class:`TraceSchemaError`.
+
+    The ``trace-meta`` header record is accepted with free-form fields.
+    """
+    if not isinstance(obj, dict):
+        raise TraceSchemaError(f"record is not an object: {obj!r}")
+    category = obj.get("ev")
+    if category == "trace-meta":
+        if obj.get("schema_version") != SCHEMA_VERSION:
+            raise TraceSchemaError(
+                f"trace-meta schema_version {obj.get('schema_version')!r} "
+                f"!= {SCHEMA_VERSION}"
+            )
+        return
+    fields = SCHEMA.get(category)
+    if fields is None:
+        raise TraceSchemaError(f"unknown trace category {category!r}")
+    if not _is_number(obj.get("t")) or obj["t"] < 0:
+        raise TraceSchemaError(
+            f"{category}: 't' must be a non-negative sim time, "
+            f"got {obj.get('t')!r}"
+        )
+    expected = set(fields) | {"t", "ev"}
+    actual = set(obj)
+    if actual != expected:
+        raise TraceSchemaError(
+            f"{category}: field mismatch (missing {sorted(expected - actual)}, "
+            f"unexpected {sorted(actual - expected)})"
+        )
+    if category == "decision" and obj["verdict"] not in DECISION_VERDICTS:
+        raise TraceSchemaError(
+            f"decision: unknown verdict {obj['verdict']!r}"
+        )
+
+
+def validate_jsonl(path: Union[str, Path]) -> int:
+    """Validate every line of a JSONL trace file; returns the record count.
+
+    Raises :class:`TraceSchemaError` (with the line number) on the first
+    malformed record.
+    """
+    count = 0
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceSchemaError(
+                    f"{path}:{lineno}: not JSON: {exc}"
+                ) from exc
+            try:
+                validate_record(obj)
+            except TraceSchemaError as exc:
+                raise TraceSchemaError(f"{path}:{lineno}: {exc}") from exc
+            count += 1
+    return count
+
+
+def main(argv: List[str]) -> int:  # pragma: no cover - exercised by CI
+    """``python -m repro.trace.schema TRACE.jsonl ...`` -- validate files."""
+    if not argv:
+        print("usage: python -m repro.trace.schema TRACE.jsonl [...]")
+        return 2
+    for path in argv:
+        count = validate_jsonl(path)
+        print(f"{path}: {count} records OK (schema v{SCHEMA_VERSION})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -12,10 +12,12 @@ from repro.experiments.io import (
     figure_result_to_csv,
     figure_result_to_dict,
     load_json,
+    result_from_dict,
     result_to_dict,
     save_json,
     write_figure_csv,
 )
+from repro.experiments.parallel import ResultCache, config_digest
 from repro.experiments.runner import run_broadcast_simulation
 
 
@@ -55,6 +57,81 @@ def test_result_dict_skips_unserializable_scheme_params():
     data = result_to_dict(result)
     assert data["config"]["scheme_params"] == {}
     json.dumps(data)  # must not raise
+
+
+def test_result_from_dict_is_a_fixed_point(small_result):
+    """to_dict(from_dict(to_dict(r))) == to_dict(r): the rebuilt result
+    carries everything the export format does."""
+    data = result_to_dict(small_result)
+    rebuilt = result_from_dict(json.loads(json.dumps(data)))
+    assert result_to_dict(rebuilt) == data
+
+
+def test_result_from_dict_rebuilds_headline_metrics(small_result):
+    rebuilt = result_from_dict(result_to_dict(small_result))
+    assert rebuilt.config.scheme == "flooding"
+    assert rebuilt.config.seed == small_result.config.seed
+    assert rebuilt.re == small_result.re
+    assert rebuilt.srb == small_result.srb
+    assert rebuilt.latency == small_result.latency
+    assert rebuilt.stats.reachability == small_result.stats.reachability
+    # Airtime totals survive under the sentinel host id.
+    ch = rebuilt.channel_stats
+    assert ch.total_tx_airtime == small_result.channel_stats.total_tx_airtime
+    assert ch.total_rx_airtime == small_result.channel_stats.total_rx_airtime
+    assert ch.transmissions == small_result.channel_stats.transmissions
+    # Perf metadata survives too.
+    assert rebuilt.perf == small_result.perf
+    assert rebuilt.wall_time == small_result.wall_time
+    assert rebuilt.events_per_sec == pytest.approx(
+        small_result.events_per_sec
+    )
+
+
+def test_result_from_dict_accepts_legacy_means_only_dict():
+    """Dicts written before the stats block existed load with the means
+    as degenerate SummaryStats and NaN metrics dropped."""
+    legacy = {
+        "config": {
+            "scheme": "flooding", "map_units": 1, "num_hosts": 5,
+            "num_broadcasts": 4, "seed": 2,
+        },
+        "metrics": {
+            "re": 0.9, "srb": math.nan, "latency": 0.01,
+            "hellos": 3, "broadcasts": 4,
+        },
+        "end_time": 10.0,
+        "events_processed": 123,
+    }
+    rebuilt = result_from_dict(legacy)
+    assert rebuilt.re == 0.9
+    assert rebuilt.stats.reachability.std == 0.0
+    assert rebuilt.stats.reachability.count == 4
+    assert math.isnan(rebuilt.srb)  # NaN mean -> stat dropped
+    assert rebuilt.latency == 0.01
+    # Fields the legacy dict predates come back at their defaults.
+    assert rebuilt.backoffs_started == 0
+    assert rebuilt.fault_trace == []
+    assert rebuilt.broadcasts_skipped == 0
+    assert rebuilt.perf is None
+    assert rebuilt.from_cache is False
+
+
+def test_result_cache_preserves_perf_metadata(tmp_path, small_result):
+    """A cache round-trip keeps wall_time and the kernel counters, and
+    marks the copy as cache-served."""
+    cache = ResultCache(tmp_path)
+    digest = config_digest(small_result.config)
+    assert cache.get(digest) is None
+    cache.put(digest, small_result)
+    cached = cache.get(digest)
+    assert cached is not None
+    assert cached.from_cache is True
+    assert small_result.from_cache is False  # original untouched
+    assert cached.wall_time == small_result.wall_time
+    assert cached.perf == small_result.perf
+    assert cached.stats == small_result.stats
+    assert result_to_dict(cached)["perf"]["from_cache"] is True
 
 
 def test_figure_result_json_roundtrip(figure):

@@ -7,6 +7,7 @@ import pytest
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.io import result_to_dict
 from repro.experiments.runner import run_broadcast_simulation
+from repro.faults.plan import CrashFault, FaultPlan
 from repro.perf import KernelPerf, format_profile, profiled
 
 
@@ -101,6 +102,57 @@ def test_result_to_dict_tolerates_missing_perf(result):
     result_sans_perf = run_broadcast_simulation(small_config())
     result_sans_perf.perf = None
     assert result_to_dict(result_sans_perf)["perf"]["kernel"] is None
+
+
+# ---------------------------------------------- heap residue / disposition
+
+
+def assert_disposition_invariant(perf):
+    """Every scheduled event ends up in exactly one disposition bucket."""
+    assert perf.events_pending_final >= perf.cancelled_pending_final >= 0
+    assert perf.events_scheduled == (
+        perf.events_processed
+        + perf.events_cancelled
+        + (perf.events_pending_final - perf.cancelled_pending_final)
+    )
+
+
+def test_heap_residue_closes_disposition_invariant(result):
+    """An adaptive-counter run ends with HELLO timers still on the heap,
+    so the residue counters are exercised with real pending events."""
+    perf = result.perf
+    assert perf.events_pending_final > 0
+    assert_disposition_invariant(perf)
+
+
+def test_early_quiescent_fault_run_still_reports_residue():
+    """Crash every host early with no recovery: the heap drains of live
+    work and the run quiesces long before the nominal end time.  collect()
+    runs after Scheduler.run() returns regardless of why the heap drained,
+    so the residue counters are present and the invariant still closes."""
+    plan = FaultPlan(
+        crashes=tuple(CrashFault(time=0.5, host_id=h) for h in range(10))
+    )
+    result = run_broadcast_simulation(
+        small_config(
+            scheme="flooding", num_hosts=10, num_broadcasts=3, faults=plan
+        )
+    )
+    perf = result.perf
+    # All broadcast requests drew dead sources.
+    assert result.broadcasts_skipped == 3
+    assert len(result.fault_trace) == 10
+    assert_disposition_invariant(perf)
+
+
+def test_residue_counters_survive_as_dict_roundtrip(result):
+    exported = result.perf.as_dict()
+    assert "events_pending_final" in exported
+    assert "cancelled_pending_final" in exported
+    rebuilt = KernelPerf()
+    for name, value in exported.items():
+        setattr(rebuilt, name, value)
+    assert rebuilt == result.perf
 
 
 # ------------------------------------------------------------ profiling

@@ -1,0 +1,51 @@
+"""Shared traced-run fixtures for the trace test suite.
+
+Each fixture runs one seeded scenario twice (once plain, once traced) at
+module scope so the expensive simulations are paid once per module.  The
+three scenarios cover the scheme families the analyzer reconciliation is
+asserted against: blind flooding, the adaptive counter scheme, and
+neighbor coverage.
+"""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_broadcast_simulation
+from repro.trace import TraceRecorder
+
+
+def small_config(scheme, seed, **overrides):
+    base = dict(
+        scheme=scheme,
+        map_units=3,
+        num_hosts=30,
+        num_broadcasts=4,
+        seed=seed,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def traced_run(scheme, seed, sample_dt=None, **overrides):
+    """(result, recorder) of one traced run."""
+    trace = TraceRecorder(sample_dt=sample_dt)
+    result = run_broadcast_simulation(
+        small_config(scheme, seed, **overrides), trace=trace
+    )
+    return result, trace
+
+
+# The three reconciliation scenarios (scheme, seed).
+SCENARIOS = {
+    "flooding": ("flooding", 7),
+    "adaptive-counter": ("adaptive-counter", 11),
+    "neighbor-coverage": ("neighbor-coverage", 3),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SCENARIOS))
+def traced_scenario(request):
+    """(name, result, recorder) for each reconciliation scenario."""
+    scheme, seed = SCENARIOS[request.param]
+    result, trace = traced_run(scheme, seed, sample_dt=0.5)
+    return request.param, result, trace

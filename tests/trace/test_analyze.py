@@ -1,0 +1,109 @@
+"""Per-broadcast reconstruction, reconciled against the metrics layer.
+
+The load-bearing guarantee: for every logical broadcast, the analyzer's
+``reached`` equals the SRB denominator (hosts with a recorded first-hear)
+and ``transmissions`` the SRB numerator (non-source copies on the air)
+that :class:`~repro.metrics.collector.MetricsCollector` computed for the
+same run -- the trace is an *explanation* of the metrics, not a second
+opinion.
+"""
+
+import math
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.trace import analyze_recorder, load_jsonl, write_jsonl
+
+from tests.trace.conftest import traced_run
+
+
+def test_reached_and_transmissions_match_metrics(traced_scenario):
+    name, result, trace = traced_scenario
+    analysis = analyze_recorder(trace)
+    records = result.metrics.records
+    assert set(analysis.broadcasts) == set(records)
+    for key, b in analysis.broadcasts.items():
+        record = records[key]
+        assert b.reached == len(record.received_times), (name, key)
+        assert b.transmissions == len(record.rebroadcasters), (name, key)
+
+
+def test_srb_formula_matches_per_broadcast(traced_scenario):
+    name, result, trace = traced_scenario
+    analysis = analyze_recorder(trace)
+    for key, b in analysis.broadcasts.items():
+        record = result.metrics.records[key]
+        if b.reached:
+            expected = 1.0 - len(record.rebroadcasters) / len(
+                record.received_times
+            )
+            assert b.srb == pytest.approx(expected), (name, key)
+        else:
+            assert math.isnan(b.srb)
+
+
+def test_broadcast_bookkeeping_is_internally_consistent(traced_scenario):
+    name, result, trace = traced_scenario
+    analysis = analyze_recorder(trace)
+    for b in analysis.broadcasts.values():
+        # A host is never both a rebroadcaster and terminally suppressed.
+        assert not set(b.rebroadcasts) & set(b.suppressions)
+        # Everyone who acted first heard the packet (the source aside).
+        assert set(b.rebroadcasts) <= set(b.receives)
+        assert set(b.suppressions) <= set(b.receives)
+        # The reception tree is rooted at the source.
+        tree = b.tree()
+        assert tree[b.source] is None
+        for host, parent in tree.items():
+            if parent is not None:
+                assert parent != host
+        assert b.redundancy >= 1.0
+        assert b.time_to_quiescence >= 0.0
+
+
+def test_analysis_totals_and_meta(traced_scenario):
+    name, result, trace = traced_scenario
+    analysis = analyze_recorder(trace)
+    assert analysis.total_reached == sum(
+        b.reached for b in analysis.broadcasts.values()
+    )
+    assert analysis.meta["scheme"] == result.config.scheme
+    assert analysis.meta["seed"] == result.config.seed
+    # Flooding never suppresses; the adaptive schemes did at least once.
+    breakdown = analysis.suppression_breakdown()
+    if name == "flooding":
+        assert breakdown == {}
+    else:
+        assert sum(breakdown.values()) > 0
+
+
+def test_report_mentions_every_broadcast(traced_scenario):
+    _, result, trace = traced_scenario
+    report = analyze_recorder(trace).report()
+    assert f"{len(result.metrics.records)} broadcasts" in report
+    for src, seq in result.metrics.records:
+        assert f"({src},{seq})" in report
+
+
+def test_jsonl_roundtrip_preserves_the_analysis(tmp_path, traced_scenario):
+    name, _, trace = traced_scenario
+    path = tmp_path / f"{name}.jsonl"
+    write_jsonl(trace, path)
+    from_file = load_jsonl(path)
+    in_memory = analyze_recorder(trace)
+    assert set(from_file.broadcasts) == set(in_memory.broadcasts)
+    for key, b in from_file.broadcasts.items():
+        assert b.summary() == in_memory.broadcasts[key].summary()
+    assert from_file.faults == in_memory.faults
+    assert from_file.meta["scheme"] == in_memory.meta["scheme"]
+
+
+def test_fault_events_land_in_the_trace():
+    plan = FaultPlan.parse("crash:host=3,at=6,recover=14;loss:p=0.05")
+    result, trace = traced_run("flooding", seed=7, faults=plan)
+    analysis = analyze_recorder(trace)
+    assert analysis.faults == [
+        (ev.time, ev.kind, ev.host_id) for ev in result.fault_trace
+    ]
+    assert ("crash", 3) in {(kind, host) for _, kind, host in analysis.faults}

@@ -1,0 +1,137 @@
+"""JSONL and Chrome trace-event exporters."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    SCHEMA_VERSION,
+    TraceRecorder,
+    TraceSchemaError,
+    chrome_trace,
+    iter_jsonl,
+    validate_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def recorder():
+    rec = TraceRecorder()
+    rec.meta.update(scheme="counter", seed=7)
+    rec.emit(0.5, "originate", src=1, seq=0, host=1)
+    rec.emit(0.51, "tx-start", host=1, kind="bcast", src=1, seq=0, hops=0,
+             duration=0.002, receivers=3)
+    rec.emit(0.512, "rx", sender=1, receiver=2, kind="bcast", src=1, seq=0)
+    rec.emit(0.512, "receive", src=1, seq=0, host=2, sender=1)
+    rec.emit(0.512, "decision", src=1, seq=0, host=2, scheme="counter",
+             verdict="defer", n=None, threshold=3, observed=1)
+    rec.emit(0.512, "rad-wait", src=1, seq=0, host=2, jitter=0.003)
+    rec.emit(0.6, "fault", kind="crash", host=9)
+    rec.emit(1.0, "sample", busy_frac=0.25, in_flight=1, queue_total=2,
+             queue_max=2, alive=29, transmissions=5, deliveries=12,
+             collisions=1, receives=4)
+    return rec
+
+
+# ----------------------------------------------------------------- JSONL
+
+
+def test_jsonl_header_comes_first(recorder):
+    lines = list(iter_jsonl(recorder))
+    header = json.loads(lines[0])
+    assert header["ev"] == "trace-meta"
+    assert header["schema_version"] == SCHEMA_VERSION
+    assert header["scheme"] == "counter"
+    assert header["seed"] == 7
+    assert len(lines) == 1 + len(recorder)
+
+
+def test_write_jsonl_roundtrip_validates(tmp_path, recorder):
+    path = tmp_path / "trace.jsonl"
+    written = write_jsonl(recorder, path)
+    assert written == len(recorder)  # header excluded from the count
+    # validate_jsonl counts every line, header included.
+    assert validate_jsonl(path) == written + 1
+
+
+def test_validate_jsonl_reports_line_number_on_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        '{"ev": "trace-meta", "schema_version": %d}\n'
+        "not json at all\n" % SCHEMA_VERSION
+    )
+    with pytest.raises(TraceSchemaError, match=r"bad\.jsonl:2.*not JSON"):
+        validate_jsonl(path)
+
+
+def test_validate_jsonl_reports_line_number_on_schema_violation(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        '{"ev": "fault", "t": 1.0, "kind": "crash", "host": 3}\n'
+        '{"ev": "fault", "t": 2.0, "kind": "crash"}\n'
+    )
+    with pytest.raises(TraceSchemaError, match=r"bad\.jsonl:2"):
+        validate_jsonl(path)
+
+
+def test_validate_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        '{"ev": "fault", "t": 1.0, "kind": "crash", "host": 3}\n\n\n'
+    )
+    assert validate_jsonl(path) == 1
+
+
+# ---------------------------------------------------------- Chrome trace
+
+
+def test_chrome_trace_structure(recorder):
+    doc = chrome_trace(recorder)
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["metadata"]["schema_version"] == SCHEMA_VERSION
+    assert doc["metadata"]["scheme"] == "counter"
+    events = doc["traceEvents"]
+    json.dumps(doc)  # must be serializable as-is
+
+    by_phase = {}
+    for ev in events:
+        by_phase.setdefault(ev["ph"], []).append(ev)
+
+    # Metadata: one process name plus one thread name per seen host.
+    names = [e for e in by_phase["M"] if e["name"] == "thread_name"]
+    assert {e["tid"] for e in names} == {1, 2, 9}
+    assert any(e["name"] == "process_name" for e in by_phase["M"])
+
+    # Spans: the transmission and the RAD wait, in microseconds.
+    spans = by_phase["X"]
+    tx = next(e for e in spans if e["cat"] == "tx")
+    assert tx["ts"] == pytest.approx(0.51 * 1e6)
+    assert tx["dur"] == pytest.approx(0.002 * 1e6)
+    assert tx["tid"] == 1
+    rad = next(e for e in spans if e["cat"] == "scheme")
+    assert rad["dur"] == pytest.approx(0.003 * 1e6)
+
+    # Instants land on the owning host's track.
+    instants = by_phase["i"]
+    rx = next(e for e in instants if e["cat"] == "rx")
+    assert rx["tid"] == 2
+    fault = next(e for e in instants if e["cat"] == "fault")
+    assert fault["tid"] == 9 and fault["name"] == "fault:crash"
+    decision = next(e for e in instants if e["cat"] == "decision")
+    assert decision["args"]["threshold"] == 3
+
+    # The sample becomes counter tracks.
+    counters = {e["name"]: e for e in by_phase["C"]}
+    assert counters["channel"]["args"]["busy_frac"] == 0.25
+    assert counters["queues"]["args"]["total"] == 2
+    assert counters["hosts"]["args"]["alive"] == 29
+    assert counters["cumulative"]["args"]["deliveries"] == 12
+
+
+def test_write_chrome_trace_counts_events(tmp_path, recorder):
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(recorder, path)
+    doc = json.loads(path.read_text())
+    assert count == len(doc["traceEvents"]) > 0
