@@ -1,0 +1,84 @@
+"""Campaign orchestration: resumable sweeps + a shared result service.
+
+The paper's conclusions come from large parameter sweeps (scheme x map x
+hosts x speed x seed); this package is the scale layer that runs them as
+**campaigns** -- declarative, deterministic, crash-resumable -- and
+serves the shared result store over HTTP:
+
+- :mod:`repro.campaigns.spec` -- the TOML/JSON campaign spec.
+- :mod:`repro.campaigns.planner` -- deterministic expansion into runs
+  with stable ids and cache digests.
+- :mod:`repro.campaigns.checkpoint` -- JSONL progress log + atomic
+  manifest.
+- :mod:`repro.campaigns.queue` -- the work-queue executor (chunked
+  through :class:`~repro.experiments.parallel.ParallelRunner`, resumes
+  off the SHA-256 result cache with zero re-simulation).
+- :mod:`repro.campaigns.service` -- stdlib asyncio HTTP front end:
+  cached results served instantly, cold scenarios queued and dedup'd.
+- :mod:`repro.campaigns.client` -- blocking stdlib client.
+
+CLI: ``repro-manet campaign plan|run|status`` and ``repro-manet serve``.
+"""
+
+from repro.campaigns.checkpoint import (
+    CheckpointRecord,
+    CheckpointWriter,
+    load_manifest,
+    load_records,
+    write_manifest,
+)
+from repro.campaigns.client import ServiceClient, ServiceError
+from repro.campaigns.planner import (
+    CampaignPlan,
+    PlannedRun,
+    axis_order,
+    plan_campaign,
+)
+from repro.campaigns.queue import (
+    CampaignExecutor,
+    CampaignMismatch,
+    CampaignOutcome,
+    campaign_results_payload,
+    campaign_status,
+)
+from repro.campaigns.service import (
+    CampaignService,
+    ServiceHandle,
+    serve_in_background,
+)
+from repro.campaigns.spec import (
+    GRID_AXES,
+    NO_FAULTS,
+    CampaignSpec,
+    SpecError,
+    load_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "GRID_AXES",
+    "NO_FAULTS",
+    "CampaignExecutor",
+    "CampaignMismatch",
+    "CampaignOutcome",
+    "CampaignPlan",
+    "CampaignService",
+    "CampaignSpec",
+    "CheckpointRecord",
+    "CheckpointWriter",
+    "PlannedRun",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "SpecError",
+    "axis_order",
+    "campaign_results_payload",
+    "campaign_status",
+    "load_manifest",
+    "load_records",
+    "load_spec",
+    "plan_campaign",
+    "serve_in_background",
+    "spec_from_dict",
+    "write_manifest",
+]

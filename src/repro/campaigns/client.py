@@ -1,0 +1,145 @@
+"""Blocking client for the campaign result service (stdlib only).
+
+Wraps the service's JSON endpoints in typed helpers::
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    client.health()
+    submitted = client.submit_scenario(scenario_to_dict(config))
+    result = client.wait_result(submitted["digest"], timeout=120)
+
+``wait_result`` polls -- the server already deduplicates by digest, so
+any number of clients can wait on the same scenario while exactly one
+simulation runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.campaigns.service.CampaignService`."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        accept_statuses: tuple = (200, 202),
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                payload = json.loads(resp.read().decode("utf-8"))
+                status = resp.status
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {"error": str(exc)}
+            status = exc.code
+        if status not in accept_statuses:
+            raise ServiceError(status, payload)
+        payload["_status"] = status
+        return payload
+
+    # ------------------------------------------------------------- calls
+
+    def health(self) -> bool:
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def get_result(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached result dict, or ``None`` when not (yet) available."""
+        try:
+            payload = self._request("GET", f"/results/{digest}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        return payload.get("result")
+
+    def submit_scenario(self, scenario: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a scenario dict; returns the digest + status (+ result
+        when it was already cached)."""
+        return self._request("POST", "/runs", body={"scenario": scenario})
+
+    def run_status(self, digest: str) -> Dict[str, Any]:
+        return self._request("GET", f"/runs/{digest}")
+
+    def wait_result(
+        self, digest: str, timeout: float = 120.0, poll: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until the digest's result exists; raises on fail/timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            result = self.get_result(digest)
+            if result is not None:
+                return result
+            status = self.run_status(digest)
+            if status.get("status") == "failed":
+                raise ServiceError(500, status)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"result {digest} not ready after {timeout:.0f}s "
+                    f"(status: {status.get('status', 'unknown')})"
+                )
+            time.sleep(poll)
+
+    def campaigns(self) -> Dict[str, Any]:
+        return self._request("GET", "/campaigns")
+
+    def campaign_status(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/campaigns/{campaign_id}/status")
+
+    def campaign_results(self, campaign_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/campaigns/{campaign_id}/results")
+
+    def iter_events(
+        self, campaign_id: str, timeout: float = 60.0
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream the campaign's SSE progress events as parsed dicts.
+
+        Yields one dict per ``data:`` line until the server sends its
+        terminal event (campaign complete/interrupted) and closes.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/campaigns/{campaign_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            for raw in resp:
+                line = raw.decode("utf-8").strip()
+                if line.startswith("data:"):
+                    yield json.loads(line[len("data:"):].strip())

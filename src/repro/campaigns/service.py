@@ -1,0 +1,467 @@
+"""Async HTTP result service: many clients, one dedup'd result store.
+
+A small HTTP/1.1 server on raw ``asyncio`` streams (stdlib only -- no
+web framework) that fronts the shared SHA-256
+:class:`~repro.experiments.parallel.ResultCache` and campaign
+directories:
+
+=======  ==============================  =====================================
+Method   Path                            Meaning
+=======  ==============================  =====================================
+GET      ``/healthz``                    liveness probe
+GET      ``/stats``                      runner perf counters + queue depth
+GET      ``/results/<digest>``           cached result (instant, no sim)
+POST     ``/runs``                       scenario JSON -> result or enqueue
+GET      ``/runs/<digest>``              queue status of a submitted run
+GET      ``/campaigns``                  campaigns under the root
+GET      ``/campaigns/<id>/status``      manifest + live progress
+GET      ``/campaigns/<id>/results``     the deterministic results.json
+GET      ``/campaigns/<id>/events``      server-sent-events progress stream
+=======  ==============================  =====================================
+
+Design: the hot path (``GET /results/<digest>``) is a cache read and
+never simulates -- that is the "millions of users" story: any number of
+clients can ask for the same sweep point and exactly one simulation ever
+runs.  Cold scenarios are deduplicated by digest into an in-process work
+queue drained by a single background task that runs each batch through a
+:class:`~repro.experiments.parallel.ParallelRunner` in a worker thread
+(``asyncio.to_thread``), so the event loop keeps serving reads while
+simulations execute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.campaigns.checkpoint import load_manifest
+from repro.campaigns.queue import (
+    MANIFEST_NAME,
+    PROGRESS_NAME,
+    RESULTS_NAME,
+    campaign_status,
+)
+from repro.experiments.io import result_to_dict, scenario_from_dict
+from repro.experiments.parallel import ParallelRunner, config_digest
+
+__all__ = ["CampaignService", "ServiceHandle", "serve_in_background"]
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+_MAX_BODY = 1 << 20  # 1 MiB of scenario JSON is plenty
+
+
+class CampaignService:
+    """The server object; ``start``/``stop`` from within an event loop."""
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        campaign_root: Optional[Union[str, Path]] = None,
+        max_workers: Optional[int] = 1,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        poll_interval: float = 0.25,
+    ) -> None:
+        self.runner = ParallelRunner(max_workers=max_workers, cache_dir=cache_dir)
+        assert self.runner.cache is not None
+        self.cache = self.runner.cache
+        self.campaign_root = Path(campaign_root) if campaign_root else None
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        # Created in start(): on Python < 3.10 a Queue binds to the event
+        # loop current at construction, which here would be the wrong one.
+        self._queue: Optional["asyncio.Queue[Tuple[str, Any]]"] = None
+        #: digest -> {"status": queued|running|done|failed, ...}
+        self._runs: Dict[str, Dict[str, Any]] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker: Optional["asyncio.Task[None]"] = None
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker = asyncio.get_running_loop().create_task(
+            self._drain_queue()
+        )
+
+    async def stop(self) -> None:
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # --------------------------------------------------------- work queue
+
+    async def _drain_queue(self) -> None:
+        """Single consumer: simulate queued scenarios off the event loop."""
+        assert self._queue is not None
+        while True:
+            digest, config = await self._queue.get()
+            self._runs[digest] = {"status": "running"}
+            try:
+                await asyncio.to_thread(self.runner.run_many, [config])
+            except Exception as exc:
+                self._runs[digest] = {"status": "failed", "error": str(exc)}
+            else:
+                self._runs[digest] = {"status": "done"}
+            finally:
+                self._queue.task_done()
+
+    def _enqueue(self, digest: str, config: Any) -> Dict[str, Any]:
+        assert self._queue is not None, "service not started"
+        state = self._runs.get(digest)
+        if state is not None and state["status"] in ("queued", "running"):
+            return {"digest": digest, "status": state["status"]}
+        self._runs[digest] = {"status": "queued"}
+        self._queue.put_nowait((digest, config))
+        return {"digest": digest, "status": "queued"}
+
+    # ------------------------------------------------------------- routes
+
+    async def _route(
+        self,
+        method: str,
+        parts: List[str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> Optional[Tuple[int, Any]]:
+        """Dispatch; returns (status, json) or None if already streamed."""
+        if parts == [] or parts == [""]:
+            return 200, {
+                "service": "repro-manet campaign service",
+                "endpoints": [
+                    "/healthz", "/stats", "/results/<digest>", "/runs",
+                    "/runs/<digest>", "/campaigns",
+                    "/campaigns/<id>/status", "/campaigns/<id>/results",
+                    "/campaigns/<id>/events",
+                ],
+            }
+        head = parts[0]
+        if head == "healthz" and method == "GET":
+            return 200, {"ok": True}
+        if head == "stats" and method == "GET":
+            return 200, {
+                "perf": self.runner.perf.as_dict(),
+                "cache": self.cache.stats().as_dict(),
+                "queue_depth": self._queue.qsize() if self._queue else 0,
+                "tracked_runs": len(self._runs),
+            }
+        if head == "results" and len(parts) == 2 and method == "GET":
+            return self._get_result(parts[1])
+        if head == "runs":
+            if method == "POST" and len(parts) == 1:
+                return self._post_run(body)
+            if method == "GET" and len(parts) == 2:
+                state = self._runs.get(parts[1])
+                if state is None:
+                    if self.cache.get(parts[1]) is not None:
+                        return 200, {"digest": parts[1], "status": "done"}
+                    return 404, {"error": "unknown run", "digest": parts[1]}
+                return 200, {"digest": parts[1], **state}
+        if head == "campaigns":
+            return await self._route_campaigns(method, parts, writer)
+        return 404, {"error": f"no such endpoint: /{'/'.join(parts)}"}
+
+    def _get_result(self, digest: str) -> Tuple[int, Any]:
+        result = self.cache.get(digest)
+        if result is not None:
+            return 200, {
+                "digest": digest,
+                "status": "done",
+                "result": result_to_dict(result),
+            }
+        state = self._runs.get(digest)
+        if state is not None and state["status"] in ("queued", "running"):
+            return 202, {"digest": digest, **state}
+        return 404, {
+            "error": "unknown digest",
+            "digest": digest,
+            **({"status": state["status"]} if state else {}),
+        }
+
+    def _post_run(self, body: bytes) -> Tuple[int, Any]:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"body is not JSON: {exc}"}
+        if isinstance(data, dict) and isinstance(data.get("scenario"), dict):
+            data = data["scenario"]
+        if not isinstance(data, dict):
+            return 400, {"error": "body must be a scenario object"}
+        try:
+            config = scenario_from_dict(data)
+            digest = config_digest(config)
+        except (ValueError, TypeError) as exc:
+            return 400, {"error": f"invalid scenario: {exc}"}
+        result = self.cache.get(digest)
+        if result is not None:
+            return 200, {
+                "digest": digest,
+                "status": "done",
+                "cached": True,
+                "result": result_to_dict(result),
+            }
+        return 202, self._enqueue(digest, config)
+
+    # -------------------------------------------------------- campaigns
+
+    def _campaign_dir(self, campaign_id: str) -> Optional[Path]:
+        if self.campaign_root is None:
+            return None
+        if not campaign_id or "/" in campaign_id or campaign_id.startswith("."):
+            return None
+        path = self.campaign_root / campaign_id
+        return path if (path / MANIFEST_NAME).exists() else None
+
+    async def _route_campaigns(
+        self, method: str, parts: List[str], writer: asyncio.StreamWriter
+    ) -> Optional[Tuple[int, Any]]:
+        if method != "GET":
+            return 405, {"error": "campaigns endpoints are read-only"}
+        if self.campaign_root is None:
+            return 404, {"error": "service started without a campaign root"}
+        if len(parts) == 1:
+            listing = []
+            for child in sorted(self.campaign_root.iterdir()):
+                if (child / MANIFEST_NAME).exists():
+                    try:
+                        listing.append(campaign_status(child))
+                    except (OSError, ValueError):
+                        continue
+            return 200, {"campaigns": listing}
+        directory = self._campaign_dir(parts[1])
+        if directory is None:
+            return 404, {"error": "unknown campaign", "campaign_id": parts[1]}
+        if len(parts) == 3 and parts[2] == "status":
+            return 200, campaign_status(directory)
+        if len(parts) == 3 and parts[2] == "results":
+            results_path = directory / RESULTS_NAME
+            if not results_path.exists():
+                return 404, {
+                    "error": "campaign has no results yet",
+                    **campaign_status(directory),
+                }
+            return 200, json.loads(results_path.read_text())
+        if len(parts) == 3 and parts[2] == "events":
+            await self._stream_events(writer, directory)
+            return None
+        return 404, {"error": f"no such endpoint: /{'/'.join(parts)}"}
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, directory: Path
+    ) -> None:
+        """Server-sent events: replay the checkpoint, then tail it live."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        progress_path = directory / PROGRESS_NAME
+        sent = 0
+        while True:
+            try:
+                lines = progress_path.read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except FileNotFoundError:
+                lines = []
+            for line in lines[sent:]:
+                if line.strip():
+                    writer.write(b"data: " + line.encode("utf-8") + b"\r\n\r\n")
+            sent = len(lines)
+            manifest = load_manifest(directory / MANIFEST_NAME) or {}
+            status = manifest.get("status")
+            if status in ("complete", "interrupted"):
+                payload = json.dumps({
+                    "status": status,
+                    "completed_runs": manifest.get("completed_runs"),
+                    "total_runs": manifest.get("total_runs"),
+                })
+                writer.write(
+                    b"event: end\r\ndata: " + payload.encode("utf-8")
+                    + b"\r\n\r\n"
+                )
+                await writer.drain()
+                return
+            try:
+                await writer.drain()
+            except ConnectionError:
+                return
+            await asyncio.sleep(self.poll_interval)
+
+    # ---------------------------------------------------------- plumbing
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            parts = [p for p in path.split("?", 1)[0].split("/") if p]
+            try:
+                response = await self._route(method, parts, body, writer)
+            except ConnectionError:
+                return
+            except Exception as exc:  # a route bug must not kill the server
+                response = (500, {"error": f"{type(exc).__name__}: {exc}"})
+            if response is not None:
+                self._write_json(writer, response[0], response[1])
+                await writer.drain()
+        except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return None
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return None
+        if content_length > _MAX_BODY:
+            return None
+        body = (
+            await reader.readexactly(content_length)
+            if content_length else b""
+        )
+        return method.upper(), path, body
+
+    @staticmethod
+    def _write_json(
+        writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+
+
+class ServiceHandle:
+    """A service running on a daemon thread (tests, embedding)."""
+
+    def __init__(
+        self,
+        service: CampaignService,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.service.host}:{self.service.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self._loop
+        )
+        try:
+            future.result(timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+
+
+def serve_in_background(
+    service: CampaignService, ready_timeout: float = 10.0
+) -> ServiceHandle:
+    """Start ``service`` on its own event loop in a daemon thread.
+
+    Returns once the socket is bound (``service.port`` holds the real
+    port, so ``port=0`` picks a free one).  Call ``handle.stop()`` to
+    shut down.
+    """
+    started = threading.Event()
+    boot_error: List[BaseException] = []
+    loop = asyncio.new_event_loop()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            try:
+                await service.start()
+            except BaseException as exc:
+                boot_error.append(exc)
+            finally:
+                started.set()
+
+        loop.run_until_complete(boot())
+        if not boot_error:
+            loop.run_forever()
+        loop.close()
+
+    thread = threading.Thread(
+        target=run, name="campaign-service", daemon=True
+    )
+    thread.start()
+    if not started.wait(ready_timeout):
+        raise TimeoutError("campaign service did not start in time")
+    if boot_error:
+        thread.join(1.0)
+        raise boot_error[0]
+    return ServiceHandle(service, loop, thread)

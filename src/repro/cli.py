@@ -1,9 +1,13 @@
 """Command-line interface.
 
-Two subcommands::
+Subcommands::
 
     repro-manet run --scheme adaptive-counter --map 9 --broadcasts 100
     repro-manet figure fig07 --broadcasts 50 --maps 3 7 11
+    repro-manet sweep --schemes flooding counter --maps 1 5 9
+    repro-manet campaign run sweep.toml --dir campaigns/ --jobs 4
+    repro-manet serve --port 8642 --cache-dir .repro-cache
+    repro-manet cache stats --cache-dir .repro-cache
 
 ``run`` executes a single scenario and prints its summary line; ``figure``
 regenerates one of the paper's figures (fig01, fig02, fig05a-d, fig07,
@@ -13,6 +17,12 @@ fig09, fig10, fig11, fig12, fig13) as a text table.
 across N worker processes (results stay bit-identical to ``--jobs 1``)
 and ``--cache-dir DIR`` to reuse finished runs across invocations;
 ``--no-cache`` forces fresh simulation even when a cache dir is set.
+
+``campaign plan|run|status`` expands a declarative sweep spec into a
+resumable, checkpointed campaign (SIGTERM/Ctrl-C mid-flight exits with
+code 3 and ``campaign run`` later resumes without re-simulating);
+``serve`` starts the async HTTP result service; ``cache`` inspects,
+prunes or clears the shared on-disk result cache.
 """
 
 from __future__ import annotations
@@ -128,6 +138,75 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--json", metavar="PATH", default=None,
                          help="also dump every run to a JSON file")
     _add_exec_args(sweep_p)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="plan / run / inspect a resumable sweep campaign",
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+
+    plan_p = camp_sub.add_parser(
+        "plan", help="expand a spec and print the run table (no execution)"
+    )
+    plan_p.add_argument("spec", help="campaign spec file (.toml or .json)")
+    plan_p.add_argument("--limit", type=int, default=20, metavar="N",
+                        help="show at most N runs (default 20; 0 = all)")
+
+    crun_p = camp_sub.add_parser(
+        "run", help="execute (or resume) a campaign from its spec"
+    )
+    crun_p.add_argument("spec", help="campaign spec file (.toml or .json)")
+    crun_p.add_argument("--dir", dest="directory", metavar="DIR", default=None,
+                        help="campaign directory (default: "
+                        "campaigns/<campaign-id>)")
+    crun_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = one per CPU core)")
+    crun_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result cache (default: <dir>/cache; share one "
+                        "across campaigns to dedup overlapping grids)")
+    crun_p.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="N", help="flush the progress checkpoint "
+                        "every N runs (default: 2x jobs, min 4)")
+    crun_p.add_argument("--quiet", action="store_true",
+                        help="no per-run progress lines")
+
+    cstat_p = camp_sub.add_parser(
+        "status", help="print a campaign directory's progress"
+    )
+    cstat_p.add_argument("directory", metavar="DIR")
+
+    serve_p = sub.add_parser(
+        "serve", help="start the async HTTP result service"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 = pick a free one)")
+    serve_p.add_argument("--cache-dir", metavar="DIR", default=".repro-cache",
+                         help="result cache served by GET /results/<digest>")
+    serve_p.add_argument("--campaigns", metavar="ROOT", default=None,
+                         help="directory of campaign dirs to expose under "
+                         "/campaigns")
+    serve_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for queued runs "
+                         "(0 = one per CPU core)")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect / prune / clear the on-disk result cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry count, size and age span"),
+        ("prune", "evict entries by age and/or LRU size bound"),
+        ("clear", "delete every entry"),
+    ):
+        p = cache_sub.add_parser(name, help=help_text)
+        p.add_argument("--cache-dir", metavar="DIR", required=True)
+        if name == "prune":
+            p.add_argument("--max-bytes", metavar="SIZE", default=None,
+                           help="keep at most SIZE total (e.g. 500M, 2G); "
+                           "least recently used entries go first")
+            p.add_argument("--max-age", metavar="AGE", default=None,
+                           help="drop entries unused for AGE (e.g. 36h, 7d)")
     return parser
 
 
@@ -387,12 +466,215 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def parse_size(text: str) -> int:
+    """``"500M"`` -> bytes (suffixes K/M/G/T, binary; bare number = bytes)."""
+    text = text.strip().lower().rstrip("b")
+    factor = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * factor)
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None
+
+
+def parse_age(text: str) -> float:
+    """``"36h"`` -> seconds (suffixes s/m/h/d/w; bare number = seconds)."""
+    text = text.strip().lower()
+    factor = 1.0
+    if text and text[-1] in _AGE_SUFFIXES:
+        factor = _AGE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        return float(text) * factor
+    except ValueError:
+        raise ValueError(f"cannot parse age {text!r}") from None
+
+
+def _format_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _load_campaign_plan(spec_path: str):
+    from repro.campaigns import SpecError, load_spec, plan_campaign
+
+    try:
+        return plan_campaign(load_spec(spec_path))
+    except (SpecError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _campaign_plan_cmd(args: argparse.Namespace) -> int:
+    plan = _load_campaign_plan(args.spec)
+    print(f"campaign {plan.campaign_id}: {plan.total} runs")
+    shown = plan.runs if args.limit == 0 else plan.runs[:args.limit]
+    for run in shown:
+        print(f"  {run.run_id}  {run.digest[:12]}  {run.label()}")
+    if len(shown) < plan.total:
+        print(f"  ... and {plan.total - len(shown)} more")
+    return 0
+
+
+def _campaign_run_cmd(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.campaigns import CampaignExecutor, CampaignMismatch
+
+    if args.jobs < 0:
+        raise SystemExit(f"error: --jobs must be >= 0, got {args.jobs}")
+    plan = _load_campaign_plan(args.spec)
+    directory = args.directory or f"campaigns/{plan.campaign_id}"
+    executor = CampaignExecutor(
+        plan,
+        directory,
+        max_workers=None if args.jobs == 0 else args.jobs,
+        cache_dir=args.cache_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+    def _to_interrupt(signum, frame):  # SIGTERM resumes as cleanly as ^C
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _to_interrupt)
+
+    done_box = [0]
+
+    def progress(planned, result):
+        done_box[0] += 1
+        if not args.quiet:
+            source = "cache" if result.from_cache else "sim"
+            print(
+                f"[{done_box[0]:>5}/{plan.total}] {planned.run_id} "
+                f"({source}) {planned.label()}: RE={result.re:.3f} "
+                f"SRB={result.srb:.3f}"
+            )
+
+    print(f"campaign {plan.campaign_id}: {plan.total} runs -> {directory}")
+    try:
+        outcome = executor.run(progress=progress)
+    except CampaignMismatch as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        signal.signal(signal.SIGTERM, previous_handler)
+    _print_perf(executor.runner)
+    if outcome.resumable:
+        print(
+            f"interrupted at {outcome.completed}/{plan.total} runs; "
+            f"checkpoint flushed -- rerun the same command to resume"
+        )
+        return 3
+    print(f"complete: {plan.total} runs; results in {directory}/results.json")
+    return 0
+
+
+def _campaign_status_cmd(args: argparse.Namespace) -> int:
+    from repro.campaigns import campaign_status
+
+    try:
+        status = campaign_status(args.directory)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    for key in (
+        "campaign_id", "name", "status", "total_runs", "completed_runs",
+        "simulated_runs", "cached_runs", "results_available",
+    ):
+        print(f"{key:<18} {status[key]}")
+    print(f"{'progress':<18} {status['progress']:.1%}")
+    return 0
+
+
+def _serve_cmd(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.campaigns import CampaignService
+
+    if args.jobs < 0:
+        raise SystemExit(f"error: --jobs must be >= 0, got {args.jobs}")
+    service = CampaignService(
+        cache_dir=args.cache_dir,
+        campaign_root=args.campaigns,
+        max_workers=None if args.jobs == 0 else args.jobs,
+        host=args.host,
+        port=args.port,
+    )
+
+    async def main() -> None:
+        await service.start()
+        print(
+            f"serving on http://{service.host}:{service.port} "
+            f"(cache: {service.cache.directory}"
+            + (f", campaigns: {service.campaign_root}" if service.campaign_root
+               else "")
+            + ") -- Ctrl-C to stop",
+            flush=True,
+        )
+        assert service._server is not None
+        await service._server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def _cache_cmd(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"{'directory':<12} {stats.directory}")
+        print(f"{'entries':<12} {stats.entries}")
+        print(f"{'total':<12} {_format_bytes(stats.total_bytes)}")
+        if stats.entries:
+            print(f"{'oldest use':<12} {stats.oldest_age:.0f}s ago")
+            print(f"{'newest use':<12} {stats.newest_age:.0f}s ago")
+        return 0
+    if args.cache_command == "clear":
+        print(f"removed {cache.clear()} entries")
+        return 0
+    if args.max_bytes is None and args.max_age is None:
+        raise SystemExit("error: prune needs --max-bytes and/or --max-age")
+    try:
+        max_bytes = parse_size(args.max_bytes) if args.max_bytes else None
+        max_age = parse_age(args.max_age) if args.max_age else None
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    report = cache.prune(max_bytes=max_bytes, max_age=max_age)
+    print(
+        f"removed {report.removed} entries "
+        f"({_format_bytes(report.freed_bytes)}); "
+        f"kept {report.kept} ({_format_bytes(report.kept_bytes)})"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _run_single(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "campaign":
+        if args.campaign_command == "plan":
+            return _campaign_plan_cmd(args)
+        if args.campaign_command == "run":
+            return _campaign_run_cmd(args)
+        return _campaign_status_cmd(args)
+    if args.command == "serve":
+        return _serve_cmd(args)
+    if args.command == "cache":
+        return _cache_cmd(args)
     return _run_figure(args)
 
 

@@ -22,18 +22,23 @@ from typing import Any, Dict, List, Union
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures.common import FigureResult, SeriesPoint
 from repro.experiments.runner import SimulationResult
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import (
     FaultEventRecord,
     MetricsCollector,
     SimulationSummary,
     SummaryStat,
 )
+from repro.net.host import HelloConfig
 from repro.perf import KernelPerf
 from repro.phy.channel import ChannelStats
+from repro.phy.params import PhyParams
 
 __all__ = [
     "result_to_dict",
     "result_from_dict",
+    "scenario_to_dict",
+    "scenario_from_dict",
     "figure_result_to_dict",
     "figure_result_from_dict",
     "save_json",
@@ -206,6 +211,94 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
         from_cache=perf_block.get("from_cache", False),
         perf=perf,
     )
+
+
+#: ScenarioConfig fields a scenario dict may set, with their JSON types.
+#: ``capture`` and ``phy`` are deliberately absent: they have no stable
+#: JSON form yet, so specs and service requests cannot reach them.
+_SCENARIO_SCALARS = (
+    "scheme", "map_units", "unit_length", "num_hosts", "num_broadcasts",
+    "interarrival_max", "max_speed_kmh", "mobility", "oracle_neighbors",
+    "store_reachable_sets", "seed", "warmup", "drain",
+)
+_SCENARIO_KEYS = frozenset(
+    _SCENARIO_SCALARS + ("scheme_params", "hello", "faults")
+)
+
+_HELLO_FIELDS = (
+    "enabled", "interval", "dynamic", "nv_max", "hi_min", "hi_max"
+)
+
+
+def scenario_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
+    """Full-fidelity JSON form of a :class:`ScenarioConfig`.
+
+    The inverse of :func:`scenario_from_dict`: the round trip preserves
+    the config's cache digest, so a scenario shipped through a campaign
+    spec or the HTTP service hits the same :class:`ResultCache` slot as
+    one built in-process.  Configs carrying a capture model, a
+    non-default PHY, or non-scalar ``scheme_params`` have no stable JSON
+    form and raise ``ValueError``.
+    """
+    if config.capture is not None:
+        raise ValueError("capture models have no JSON scenario form")
+    if config.phy != PhyParams():
+        raise ValueError("non-default PhyParams have no JSON scenario form")
+    for key, value in config.scheme_params.items():
+        if not isinstance(value, (bool, int, float, str)):
+            raise ValueError(
+                f"scheme_params[{key!r}] is not a JSON scalar: {value!r}"
+            )
+    out: Dict[str, Any] = {
+        name: getattr(config, name) for name in _SCENARIO_SCALARS
+    }
+    if config.scheme_params:
+        out["scheme_params"] = dict(config.scheme_params)
+    if config.hello != HelloConfig():
+        out["hello"] = {
+            name: getattr(config.hello, name) for name in _HELLO_FIELDS
+        }
+    if config.faults is not None:
+        out["faults"] = config.faults.to_dict()
+    return out
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
+    """Build a :class:`ScenarioConfig` from a scenario dict.
+
+    Accepts the output of :func:`scenario_to_dict` plus two conveniences
+    for hand-written specs: ``faults`` may be a CLI spec string
+    (``"churn:rate=0.01,downtime=5"``) instead of a plan dict, and any
+    field may simply be omitted to take the paper default.  Unknown keys
+    raise ``ValueError`` -- a typo'd field silently meaning "default"
+    would corrupt an entire sweep.
+    """
+    unknown = set(data) - _SCENARIO_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown scenario field(s): {', '.join(sorted(unknown))} "
+            f"(allowed: {', '.join(sorted(_SCENARIO_KEYS))})"
+        )
+    kwargs: Dict[str, Any] = {
+        name: data[name] for name in _SCENARIO_SCALARS if name in data
+    }
+    if "scheme_params" in data:
+        kwargs["scheme_params"] = dict(data["scheme_params"])
+    if "hello" in data:
+        hello = data["hello"]
+        bad = set(hello) - set(_HELLO_FIELDS)
+        if bad:
+            raise ValueError(
+                f"unknown hello field(s): {', '.join(sorted(bad))}"
+            )
+        kwargs["hello"] = HelloConfig(**hello)
+    faults = data.get("faults")
+    if faults is not None:
+        if isinstance(faults, str):
+            kwargs["faults"] = FaultPlan.parse(faults)
+        else:
+            kwargs["faults"] = FaultPlan.from_dict(faults)
+    return ScenarioConfig(**kwargs)
 
 
 def figure_result_to_dict(result: FigureResult) -> Dict[str, Any]:

@@ -19,6 +19,12 @@ Guarantees
 - **Graceful fallback**: configs that cannot be pickled or digested (e.g.
   a ``threshold_fn`` callable in ``scheme_params``) run inline in the
   parent process and skip the cache; everything else parallelizes.
+- **Graceful interrupt**: a ``KeyboardInterrupt`` (Ctrl-C / SIGTERM
+  translated by the CLI) no longer tears the pool down mid-write.
+  Completed results are already in the cache; pending work is cancelled
+  and :class:`ExecutionInterrupted` is raised carrying the partial,
+  submission-order-aligned results so callers (the campaign executor)
+  can flush a checkpoint and exit in a resumable state.
 
 Example::
 
@@ -62,6 +68,9 @@ from repro.perf import KernelPerf
 __all__ = [
     "RESULT_CACHE_VERSION",
     "CacheKeyError",
+    "CacheStats",
+    "ExecutionInterrupted",
+    "PruneReport",
     "ResultCache",
     "RunnerPerf",
     "ParallelRunner",
@@ -76,6 +85,24 @@ RESULT_CACHE_VERSION = "1"
 class CacheKeyError(ValueError):
     """The config contains values with no stable serial form (callables,
     exotic objects) and therefore cannot be cached."""
+
+
+class ExecutionInterrupted(KeyboardInterrupt):
+    """A batch was interrupted (Ctrl-C / SIGTERM) partway through.
+
+    Subclasses :class:`KeyboardInterrupt` so existing ``except
+    KeyboardInterrupt`` handlers keep working, but carries enough state to
+    resume: ``results`` is aligned with the submitted configs (``None``
+    where a run never finished) and every finished result has already
+    been written to the cache, so a re-run only simulates the holes.
+    """
+
+    def __init__(self, results: Sequence[Optional[SimulationResult]]) -> None:
+        self.results: List[Optional[SimulationResult]] = list(results)
+        self.completed = sum(1 for r in self.results if r is not None)
+        super().__init__(
+            f"interrupted after {self.completed}/{len(self.results)} runs"
+        )
 
 
 def _canonical(value: Any) -> Any:
@@ -168,6 +195,12 @@ class ResultCache:
         if not isinstance(result, SimulationResult):
             self._discard(path)
             return None
+        # Mark the entry recently-used so prune(max_bytes=...) evicts cold
+        # digests first (mtime is the LRU clock).
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         result.from_cache = True
         return result
 
@@ -203,6 +236,119 @@ class ResultCache:
             path.unlink()
             n += 1
         return n
+
+    def _entries(self) -> List["CacheEntry"]:
+        """Live entries with size and mtime (vanished files skipped)."""
+        entries = []
+        for path in self._dir.glob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # deleted by a concurrent runner
+            entries.append(
+                CacheEntry(path=path, size=st.st_size, mtime=st.st_mtime)
+            )
+        return entries
+
+    def stats(self) -> "CacheStats":
+        """Aggregate entry count / bytes / age span of the cache."""
+        entries = self._entries()
+        now = time.time()
+        mtimes = [e.mtime for e in entries]
+        return CacheStats(
+            directory=self._dir,
+            entries=len(entries),
+            total_bytes=sum(e.size for e in entries),
+            oldest_age=(now - min(mtimes)) if mtimes else 0.0,
+            newest_age=(now - max(mtimes)) if mtimes else 0.0,
+        )
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+    ) -> "PruneReport":
+        """Evict entries until the cache fits the given bounds.
+
+        ``max_age`` (seconds) drops every entry whose last use is older;
+        ``max_bytes`` then evicts least-recently-used entries until the
+        total size fits.  ``get`` touches an entry's mtime on every hit,
+        so "least recently used" means coldest digest, not oldest write.
+        With neither bound this is a no-op (use :meth:`clear` to wipe).
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if max_age is not None and max_age < 0:
+            raise ValueError(f"max_age must be >= 0, got {max_age}")
+        entries = sorted(self._entries(), key=lambda e: e.mtime)
+        now = time.time()
+        removed = 0
+        freed = 0
+        kept: List[CacheEntry] = []
+        for entry in entries:
+            if max_age is not None and now - entry.mtime > max_age:
+                self._discard(entry.path)
+                removed += 1
+                freed += entry.size
+            else:
+                kept.append(entry)
+        if max_bytes is not None:
+            total = sum(e.size for e in kept)
+            survivors = []
+            for entry in kept:  # still LRU-first
+                if total > max_bytes:
+                    self._discard(entry.path)
+                    removed += 1
+                    freed += entry.size
+                    total -= entry.size
+                else:
+                    survivors.append(entry)
+            kept = survivors
+        return PruneReport(
+            removed=removed,
+            freed_bytes=freed,
+            kept=len(kept),
+            kept_bytes=sum(e.size for e in kept),
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache file (internal to stats/prune)."""
+
+    path: Path
+    size: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of a :class:`ResultCache`'s footprint."""
+
+    directory: Path
+    entries: int
+    total_bytes: int
+    oldest_age: float  # seconds since the least recently used entry
+    newest_age: float  # seconds since the most recently used entry
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "directory": str(self.directory),
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "oldest_age": self.oldest_age,
+            "newest_age": self.newest_age,
+        }
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What :meth:`ResultCache.prune` evicted and what survived."""
+
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
 
 
 @dataclass
@@ -287,7 +433,13 @@ class ParallelRunner:
     # ------------------------------------------------------------- core
 
     def run_many(self, configs: Sequence[ScenarioConfig]) -> List[SimulationResult]:
-        """Run every config, preserving order; cache-hit where possible."""
+        """Run every config, preserving order; cache-hit where possible.
+
+        Each finished result is cached the moment it is consumed, so a
+        :class:`KeyboardInterrupt` mid-batch loses only in-flight work:
+        pending futures are cancelled and :class:`ExecutionInterrupted`
+        is raised with the partial, order-aligned results.
+        """
         start = time.perf_counter()
         configs = list(configs)
         results: List[Optional[SimulationResult]] = [None] * len(configs)
@@ -309,14 +461,24 @@ class ParallelRunner:
             else:
                 to_run.append(i)
 
-        for i, result in zip(to_run, self._execute([configs[i] for i in to_run])):
-            results[i] = result
-            self.perf.simulated += 1
-            self.perf.events += result.events_processed
-            self.perf.sim_wall_time += result.wall_time
-            self.perf.note_kernel(result.perf)
-            if self.cache is not None and digests[i] is not None:
-                self.cache.put(digests[i], result)
+        executing = self._execute([configs[i] for i in to_run])
+        try:
+            for i, result in zip(to_run, executing):
+                results[i] = result
+                self.perf.simulated += 1
+                self.perf.events += result.events_processed
+                self.perf.sim_wall_time += result.wall_time
+                self.perf.note_kernel(result.perf)
+                if self.cache is not None and digests[i] is not None:
+                    self.cache.put(digests[i], result)
+        except KeyboardInterrupt:
+            # Account for what did finish, then surface a resumable state
+            # (completed results are already in the cache).  Closing the
+            # generator cancels any still-queued pool work.
+            executing.close()
+            self.perf.runs += sum(1 for r in results if r is not None)
+            self.perf.wall_time += time.perf_counter() - start
+            raise ExecutionInterrupted(results) from None
 
         self.perf.runs += len(configs)
         self.perf.wall_time += time.perf_counter() - start
@@ -325,33 +487,51 @@ class ParallelRunner:
     def _execute(
         self, configs: List[ScenarioConfig]
     ) -> Iterable[SimulationResult]:
-        """Simulate ``configs`` (order-preserving), pooling when it pays."""
+        """Simulate ``configs``, yielding results in submission order.
+
+        Pools across processes when it pays; unpicklable configs run
+        inline in the parent at their slot in the order.  On interrupt
+        the pool's pending futures are cancelled (never mid-write: the
+        caller caches each yielded result as it lands) before the
+        ``KeyboardInterrupt`` propagates.
+        """
         workers = self.max_workers or os.cpu_count() or 1
         workers = min(workers, len(configs))
         if workers <= 1:
-            return [run_broadcast_simulation(c) for c in configs]
+            for config in configs:
+                yield run_broadcast_simulation(config)
+            return
 
-        poolable: List[int] = []
-        inline: List[int] = []
+        poolable = set()
         for i, config in enumerate(configs):
             try:
                 pickle.dumps(config)
-                poolable.append(i)
+                poolable.add(i)
             except Exception:
-                inline.append(i)
+                pass
 
-        results: List[Optional[SimulationResult]] = [None] * len(configs)
-        if len(poolable) > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for i, result in zip(
-                    poolable, pool.map(_run_config, [configs[i] for i in poolable])
-                ):
-                    results[i] = result
+        if len(poolable) <= 1:
+            for config in configs:
+                yield run_broadcast_simulation(config)
+            return
+
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {
+                i: pool.submit(_run_config, configs[i]) for i in poolable
+            }
+            for i, config in enumerate(configs):
+                if i in futures:
+                    yield futures[i].result()
+                else:
+                    yield run_broadcast_simulation(config)
+        except BaseException:
+            # cancel_futures drops queued work; in-flight tasks finish in
+            # their workers but are never consumed.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
         else:
-            inline = sorted(inline + poolable)
-        for i in inline:
-            results[i] = run_broadcast_simulation(configs[i])
-        return results  # type: ignore[return-value]
+            pool.shutdown(wait=True)
 
     # ------------------------------------------------------ high level
 

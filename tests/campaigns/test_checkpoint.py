@@ -1,0 +1,102 @@
+"""Checkpoint file + manifest: durability and crash tolerance."""
+
+import json
+
+import pytest
+
+from repro.campaigns.checkpoint import (
+    CheckpointRecord,
+    CheckpointWriter,
+    load_manifest,
+    load_records,
+    write_manifest,
+)
+
+
+def record(i, **overrides):
+    base = dict(
+        run_id=f"run-{i:05d}",
+        digest=f"{i:064x}",
+        status="done",
+        simulated=True,
+        re=0.9,
+        srb=0.4,
+        latency=0.02,
+        events=1000 + i,
+        wall_time=0.5,
+    )
+    base.update(overrides)
+    return CheckpointRecord(**base)
+
+
+def test_append_and_load_round_trip(tmp_path):
+    path = tmp_path / "progress.jsonl"
+    with CheckpointWriter(path) as writer:
+        for i in range(3):
+            writer.append(record(i))
+    loaded = load_records(path)
+    assert set(loaded) == {"run-00000", "run-00001", "run-00002"}
+    assert loaded["run-00001"] == record(1)
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    assert load_records(tmp_path / "nope.jsonl") == {}
+
+
+def test_duplicate_run_ids_last_wins(tmp_path):
+    path = tmp_path / "progress.jsonl"
+    with CheckpointWriter(path) as writer:
+        writer.append(record(0, simulated=True))
+        writer.append(record(0, simulated=False))
+    assert load_records(path)["run-00000"].simulated is False
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    """A SIGKILL mid-append leaves a partial last line; resume survives."""
+    path = tmp_path / "progress.jsonl"
+    with CheckpointWriter(path) as writer:
+        writer.append(record(0))
+        writer.append(record(1))
+    full = path.read_text()
+    path.write_text(full[:-20])  # tear the tail of the last record
+    loaded = load_records(path)
+    assert set(loaded) == {"run-00000"}
+
+
+def test_corruption_before_valid_lines_raises(tmp_path):
+    path = tmp_path / "progress.jsonl"
+    good = record(1).to_json()
+    path.write_text("{broken\n" + good + "\n")
+    with pytest.raises(ValueError, match="corrupt checkpoint line"):
+        load_records(path)
+
+
+def test_blank_lines_ignored(tmp_path):
+    path = tmp_path / "progress.jsonl"
+    path.write_text("\n" + record(0).to_json() + "\n\n")
+    assert set(load_records(path)) == {"run-00000"}
+
+
+def test_records_are_versioned(tmp_path):
+    data = json.loads(record(0).to_json())
+    assert data["v"] == 1
+
+
+def test_manifest_round_trip_and_atomicity(tmp_path):
+    path = tmp_path / "manifest.json"
+    assert load_manifest(path) is None
+    write_manifest(path, {"campaign_id": "x", "status": "running"})
+    write_manifest(path, {"campaign_id": "x", "status": "complete"})
+    assert load_manifest(path)["status"] == "complete"
+    # No temp droppings left behind by the atomic replace.
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_writer_reopens_after_close(tmp_path):
+    path = tmp_path / "progress.jsonl"
+    writer = CheckpointWriter(path)
+    writer.append(record(0))
+    writer.close()
+    writer.append(record(1))
+    writer.close()
+    assert len(load_records(path)) == 2

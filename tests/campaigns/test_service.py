@@ -1,0 +1,167 @@
+"""HTTP result service: warm cache hits, cold runs, campaign endpoints."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.campaigns.client import ServiceClient, ServiceError
+from repro.campaigns.planner import plan_campaign
+from repro.campaigns.queue import CampaignExecutor
+from repro.campaigns.service import CampaignService, serve_in_background
+from repro.campaigns.spec import spec_from_dict
+from repro.experiments.io import (
+    result_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from repro.experiments.parallel import config_digest
+from repro.experiments.runner import run_broadcast_simulation
+
+
+@pytest.fixture(scope="module")
+def env(tmp_path_factory):
+    """One service over a cache warmed by a completed campaign."""
+    root = tmp_path_factory.mktemp("service")
+    cache_dir = root / "cache"
+    campaign_root = root / "campaigns"
+    spec = spec_from_dict({
+        "name": "svc-test",
+        "grid": {"scheme": ["flooding"], "seed": [1, 2]},
+        "scenario": {"map_units": 1, "num_hosts": 12, "num_broadcasts": 2},
+    })
+    plan = plan_campaign(spec)
+    executor = CampaignExecutor(
+        plan, campaign_root / plan.campaign_id,
+        max_workers=1, cache_dir=cache_dir,
+    )
+    assert executor.run().status == "complete"
+
+    service = CampaignService(
+        cache_dir, campaign_root=campaign_root,
+        max_workers=1, port=0, poll_interval=0.05,
+    )
+    handle = serve_in_background(service)
+    client = ServiceClient(handle.base_url, timeout=30)
+    yield SimpleNamespace(
+        service=service, handle=handle, client=client, plan=plan,
+    )
+    handle.stop()
+
+
+def test_health_and_index(env):
+    assert env.client.health() is True
+    index = env.client._request("GET", "/")
+    assert "/results/<digest>" in index["endpoints"]
+
+
+def test_stats_reports_cache_and_queue(env):
+    stats = env.client.stats()
+    assert stats["cache"]["entries"] >= env.plan.total
+    assert stats["queue_depth"] == 0
+    assert "simulated" in stats["perf"]
+
+
+def test_warm_get_serves_cache_without_simulating(env):
+    before = env.service.runner.perf.simulated
+    run = env.plan.runs[0]
+    result = env.client.get_result(run.digest)
+    assert result is not None
+    expected = result_to_dict(env.service.cache.get(run.digest))
+    assert result == expected
+    assert env.service.runner.perf.simulated == before
+
+
+def test_warm_post_returns_cached_result(env):
+    before = env.service.runner.perf.simulated
+    run = env.plan.runs[1]
+    submitted = env.client.submit_scenario(scenario_to_dict(run.config))
+    assert submitted["_status"] == 200
+    assert submitted["cached"] is True
+    assert submitted["digest"] == run.digest
+    assert submitted["result"]["metrics"]["re"] is not None
+    assert env.service.runner.perf.simulated == before
+
+
+def test_cold_post_simulates_once_end_to_end(env):
+    scenario = {
+        "scheme": "flooding", "map_units": 1, "num_hosts": 14,
+        "num_broadcasts": 2, "seed": 99,
+    }
+    before = env.service.runner.perf.simulated
+    first = env.client.submit_scenario(scenario)
+    assert first["_status"] in (200, 202)
+    # A duplicate submit while queued/running must not enqueue again.
+    second = env.client.submit_scenario(scenario)
+    assert second["digest"] == first["digest"]
+
+    result = env.client.wait_result(first["digest"], timeout=60)
+    config = scenario_from_dict(scenario)
+    direct = run_broadcast_simulation(config)
+    assert first["digest"] == config_digest(config)
+    expected = result_to_dict(direct)
+    # The perf block carries wall-clock timings; everything else is exact.
+    result.pop("perf", None)
+    expected.pop("perf", None)
+    assert result == expected
+    assert env.service.runner.perf.simulated == before + 1
+    # Now warm: the run status endpoint reports done.
+    assert env.client.run_status(first["digest"])["status"] == "done"
+
+
+def test_unknown_digest_is_none_and_404(env):
+    assert env.client.get_result("f" * 64) is None
+    with pytest.raises(ServiceError) as excinfo:
+        env.client.run_status("f" * 64)
+    assert excinfo.value.status == 404
+
+
+def test_invalid_scenario_is_400(env):
+    with pytest.raises(ServiceError) as excinfo:
+        env.client.submit_scenario({"num_hostz": 20})
+    assert excinfo.value.status == 400
+    assert "invalid scenario" in str(excinfo.value)
+
+
+def test_unknown_endpoint_is_404(env):
+    with pytest.raises(ServiceError) as excinfo:
+        env.client._request("GET", "/teapot")
+    assert excinfo.value.status == 404
+
+
+def test_campaign_listing_and_status(env):
+    campaign_id = env.plan.campaign_id
+    listing = env.client.campaigns()["campaigns"]
+    assert [c["campaign_id"] for c in listing] == [campaign_id]
+    status = env.client.campaign_status(campaign_id)
+    assert status["status"] == "complete"
+    assert status["completed_runs"] == env.plan.total
+
+
+def test_campaign_results_served_verbatim(env):
+    payload = env.client.campaign_results(env.plan.campaign_id)
+    assert payload["campaign_id"] == env.plan.campaign_id
+    assert len(payload["runs"]) == env.plan.total
+
+
+def test_campaign_path_traversal_rejected(env):
+    for bad in ("..", ".hidden"):
+        with pytest.raises(ServiceError) as excinfo:
+            env.client.campaign_status(bad)
+        assert excinfo.value.status == 404
+
+
+def test_unknown_campaign_is_404(env):
+    with pytest.raises(ServiceError) as excinfo:
+        env.client.campaign_status("no-such-campaign")
+    assert excinfo.value.status == 404
+
+
+def test_sse_events_replay_and_terminate(env):
+    events = list(env.client.iter_events(env.plan.campaign_id, timeout=30))
+    # One data event per checkpointed run, then the terminal summary.
+    run_events = [e for e in events if "run_id" in e]
+    assert {e["run_id"] for e in run_events} == {
+        r.run_id for r in env.plan.runs
+    }
+    assert events[-1]["status"] == "complete"
+    assert events[-1]["completed_runs"] == env.plan.total

@@ -141,3 +141,125 @@ def test_figure_chart_flag(capsys):
     assert exit_code == 0
     out = capsys.readouterr().out
     assert "(RE)" in out  # the chart title
+
+
+# --------------------------------------------------- campaigns and cache
+
+
+SPEC_JSON = """{
+  "name": "cli-test",
+  "grid": {"scheme": ["flooding"], "seed": [1, 2]},
+  "scenario": {"map_units": 1, "num_hosts": 12, "num_broadcasts": 2}
+}"""
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(SPEC_JSON)
+    return path
+
+
+def test_campaign_plan_command(capsys, spec_path):
+    assert main(["campaign", "plan", str(spec_path)]) == 0
+    out = capsys.readouterr().out
+    assert "2 runs" in out
+    assert "run-00000" in out and "run-00001" in out
+
+
+def test_campaign_plan_limit(capsys, spec_path):
+    assert main(["campaign", "plan", str(spec_path), "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "run-00000" in out
+    assert "run-00001" not in out
+    assert "1 more" in out
+
+
+def test_campaign_plan_bad_spec(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"name": "x", "grid": {"warp": [1]}}')
+    with pytest.raises(SystemExit, match="unknown grid axis"):
+        main(["campaign", "plan", str(path)])
+
+
+def test_campaign_run_and_status(capsys, tmp_path, spec_path):
+    directory = tmp_path / "camp"
+    code = main([
+        "campaign", "run", str(spec_path),
+        "--dir", str(directory), "--jobs", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "(sim)" in out
+    assert "complete: 2 runs" in out
+    assert (directory / "results.json").exists()
+
+    assert main(["campaign", "status", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "complete" in out
+    assert "100.0%" in out
+
+    # Rerun: everything comes from the campaign's cache.
+    assert main([
+        "campaign", "run", str(spec_path),
+        "--dir", str(directory), "--jobs", "1",
+    ]) == 0
+    assert "(cache)" in capsys.readouterr().out
+
+
+def test_campaign_run_quiet(capsys, tmp_path, spec_path):
+    code = main([
+        "campaign", "run", str(spec_path),
+        "--dir", str(tmp_path / "camp"), "--jobs", "1", "--quiet",
+    ])
+    assert code == 0
+    assert "run-00000" not in capsys.readouterr().out
+
+
+def test_cache_stats_prune_clear(capsys, tmp_path, spec_path):
+    cache_dir = tmp_path / "cache"
+    main([
+        "campaign", "run", str(spec_path),
+        "--dir", str(tmp_path / "camp"), "--jobs", "1", "--quiet",
+        "--cache-dir", str(cache_dir),
+    ])
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries      2" in out
+
+    assert main([
+        "cache", "prune", "--cache-dir", str(cache_dir), "--max-age", "1h",
+    ]) == 0
+    assert "removed 0 entries" in capsys.readouterr().out
+
+    assert main([
+        "cache", "prune", "--cache-dir", str(cache_dir), "--max-bytes", "0",
+    ]) == 0
+    assert "kept 0" in capsys.readouterr().out
+
+    assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+    assert "removed 0 entries" in capsys.readouterr().out
+
+
+def test_cache_prune_requires_a_bound(tmp_path):
+    with pytest.raises(SystemExit, match="prune needs"):
+        main(["cache", "prune", "--cache-dir", str(tmp_path)])
+
+
+def test_parse_size_and_age():
+    from repro.cli import parse_age, parse_size
+
+    assert parse_size("1024") == 1024
+    assert parse_size("4K") == 4096
+    assert parse_size("1.5M") == int(1.5 * 1024 * 1024)
+    assert parse_size("2G") == 2 * 1024 ** 3
+    assert parse_age("90") == 90.0
+    assert parse_age("2m") == 120.0
+    assert parse_age("36h") == 36 * 3600.0
+    assert parse_age("1w") == 7 * 86400.0
+    with pytest.raises(ValueError):
+        parse_size("lots")
+    with pytest.raises(ValueError):
+        parse_age("soon")

@@ -15,6 +15,8 @@ from repro.experiments.io import (
     result_from_dict,
     result_to_dict,
     save_json,
+    scenario_from_dict,
+    scenario_to_dict,
     write_figure_csv,
 )
 from repro.experiments.parallel import ResultCache, config_digest
@@ -162,3 +164,73 @@ def test_write_figure_csv(tmp_path, figure):
     path = tmp_path / "figure.csv"
     write_figure_csv(figure, path)
     assert path.read_text().count("\n") >= 4
+
+
+# ------------------------------------------------- scenario round trips
+
+
+def full_scenario():
+    from repro.faults.plan import FaultPlan
+    from repro.net.host import HelloConfig
+
+    return ScenarioConfig(
+        scheme="counter",
+        map_units=3,
+        num_hosts=25,
+        num_broadcasts=4,
+        max_speed_kmh=30.0,
+        seed=11,
+        scheme_params={"threshold": 4},
+        hello=HelloConfig(interval=0.7),
+        faults=FaultPlan.parse("churn:rate=0.01,downtime=5"),
+    )
+
+
+def test_scenario_round_trip_preserves_digest():
+    for config in (
+        ScenarioConfig(scheme="flooding", map_units=1, num_hosts=10,
+                       num_broadcasts=2, seed=3),
+        full_scenario(),
+    ):
+        data = json.loads(json.dumps(scenario_to_dict(config)))
+        again = scenario_from_dict(data)
+        assert again == config
+        assert config_digest(again) == config_digest(config)
+
+
+def test_scenario_dict_omits_defaults():
+    config = ScenarioConfig(scheme="flooding", map_units=1, num_hosts=10,
+                            num_broadcasts=2, seed=3)
+    data = scenario_to_dict(config)
+    assert "hello" not in data
+    assert "faults" not in data
+    assert "scheme_params" not in data
+
+
+def test_scenario_from_dict_accepts_fault_spec_string():
+    config = scenario_from_dict({
+        "scheme": "flooding", "map_units": 1, "num_hosts": 10,
+        "num_broadcasts": 2, "seed": 3,
+        "faults": "loss:p=0.1",
+    })
+    assert config.faults.loss is not None
+
+
+def test_scenario_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown scenario field"):
+        scenario_from_dict({"scheme": "flooding", "num_hostz": 10})
+
+
+def test_scenario_to_dict_rejects_non_json_configs():
+    from repro.phy.capture import CaptureModel
+
+    with pytest.raises(ValueError, match="capture"):
+        scenario_to_dict(ScenarioConfig(
+            scheme="flooding", map_units=1, num_hosts=10, num_broadcasts=2,
+            seed=3, capture=CaptureModel(),
+        ))
+    with pytest.raises(ValueError, match="not a JSON scalar"):
+        scenario_to_dict(ScenarioConfig(
+            scheme="counter", map_units=1, num_hosts=10, num_broadcasts=2,
+            seed=3, scheme_params={"threshold_fn": lambda n: 3},
+        ))

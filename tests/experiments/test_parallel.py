@@ -273,3 +273,148 @@ def test_result_perf_fields_and_export():
 def test_max_workers_validation():
     with pytest.raises(ValueError):
         ParallelRunner(max_workers=0)
+
+
+# ------------------------------------------------------- stats and prune
+
+
+def fill_cache(tmp_path, n):
+    cache = ResultCache(tmp_path)
+    digests = []
+    for seed in range(1, n + 1):
+        config = small_config(seed=seed)
+        digest = config_digest(config)
+        cache.put(digest, run_broadcast_simulation(config))
+        digests.append(digest)
+    return cache, digests
+
+
+def test_cache_stats_empty(tmp_path):
+    stats = ResultCache(tmp_path).stats()
+    assert stats.entries == 0
+    assert stats.total_bytes == 0
+    assert stats.oldest_age == stats.newest_age == 0.0
+
+
+def test_cache_stats_counts_entries_and_bytes(tmp_path):
+    cache, _ = fill_cache(tmp_path, 3)
+    stats = cache.stats()
+    assert stats.entries == 3
+    assert stats.total_bytes == sum(
+        p.stat().st_size for p in tmp_path.glob("*.pkl")
+    )
+    assert stats.oldest_age >= stats.newest_age >= 0.0
+    exported = stats.as_dict()
+    assert exported["entries"] == 3
+    assert exported["directory"] == str(tmp_path)
+
+
+def test_prune_without_bounds_is_noop(tmp_path):
+    cache, _ = fill_cache(tmp_path, 2)
+    report = cache.prune()
+    assert report.removed == 0
+    assert report.kept == 2
+    assert cache.stats().entries == 2
+
+
+def test_prune_max_age_drops_stale_entries(tmp_path):
+    import os
+    import time
+
+    cache, digests = fill_cache(tmp_path, 2)
+    old = tmp_path / f"{digests[0]}.pkl"
+    stale = time.time() - 3600
+    os.utime(old, (stale, stale))
+    report = cache.prune(max_age=60)
+    assert report.removed == 1
+    assert report.kept == 1
+    assert report.freed_bytes > 0
+    assert cache.get(digests[0]) is None
+    assert cache.get(digests[1]) is not None
+
+
+def test_prune_max_bytes_evicts_least_recently_used(tmp_path):
+    import os
+    import time
+
+    cache, digests = fill_cache(tmp_path, 3)
+    # Spread the mtimes, then touch the oldest digest via a hit: LRU
+    # order must follow use, not write time.
+    now = time.time()
+    for i, digest in enumerate(digests):
+        ts = now - 300 * (len(digests) - i)
+        os.utime(tmp_path / f"{digest}.pkl", (ts, ts))
+    assert cache.get(digests[0]) is not None  # touch -> most recent
+
+    keep_one = (tmp_path / f"{digests[0]}.pkl").stat().st_size
+    report = cache.prune(max_bytes=keep_one)
+    assert report.removed == 2
+    assert report.kept == 1
+    assert cache.get(digests[0]) is not None
+    assert cache.get(digests[1]) is None
+    assert cache.get(digests[2]) is None
+
+
+def test_prune_max_bytes_zero_clears_everything(tmp_path):
+    cache, _ = fill_cache(tmp_path, 2)
+    report = cache.prune(max_bytes=0)
+    assert report.removed == 2
+    assert report.kept == 0
+    assert report.kept_bytes == 0
+    assert cache.stats().entries == 0
+
+
+# ------------------------------------------------------------ interrupts
+
+
+def interrupting_runner(monkeypatch, n):
+    """Patch the simulation entry point to die after ``n`` completions."""
+    import repro.experiments.parallel as parallel_mod
+
+    calls = {"n": 0}
+
+    def wrapper(config):
+        if calls["n"] >= n:
+            raise KeyboardInterrupt
+        calls["n"] += 1
+        return run_broadcast_simulation(config)
+
+    monkeypatch.setattr(parallel_mod, "run_broadcast_simulation", wrapper)
+
+
+def test_interrupt_raises_execution_interrupted(tmp_path, monkeypatch):
+    from repro.experiments.parallel import ExecutionInterrupted
+
+    configs = [small_config(seed=s) for s in (1, 2, 3)]
+    interrupting_runner(monkeypatch, 2)
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    with pytest.raises(ExecutionInterrupted) as excinfo:
+        runner.run_many(configs)
+    exc = excinfo.value
+    assert isinstance(exc, KeyboardInterrupt)
+    assert exc.completed == 2
+    assert len(exc.results) == 3
+    assert exc.results[2] is None
+    assert exc.results[0] is not None
+    assert runner.perf.simulated == 2
+
+
+def test_interrupt_partial_results_are_cached(tmp_path, monkeypatch):
+    import repro.experiments.parallel as parallel_mod
+
+    from repro.experiments.parallel import ExecutionInterrupted
+
+    configs = [small_config(seed=s) for s in (1, 2, 3)]
+    interrupting_runner(monkeypatch, 1)
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    with pytest.raises(ExecutionInterrupted):
+        runner.run_many(configs)
+
+    monkeypatch.setattr(
+        parallel_mod, "run_broadcast_simulation", run_broadcast_simulation
+    )
+    warm = ParallelRunner(max_workers=1, cache_dir=tmp_path)
+    results = warm.run_many(configs)
+    assert warm.perf.cache_hits == 1
+    assert warm.perf.simulated == 2
+    assert all(r is not None for r in results)

@@ -39,10 +39,13 @@ def test_all_subpackages_importable():
         "repro.sim", "repro.geometry", "repro.analysis", "repro.mobility",
         "repro.phy", "repro.mac", "repro.net", "repro.schemes",
         "repro.metrics", "repro.experiments", "repro.routing", "repro.viz",
-        "repro.cli",
+        "repro.cli", "repro.campaigns",
         "repro.experiments.figures", "repro.experiments.io",
         "repro.experiments.replication", "repro.experiments.report",
         "repro.experiments.topologies",
+        "repro.campaigns.spec", "repro.campaigns.planner",
+        "repro.campaigns.checkpoint", "repro.campaigns.queue",
+        "repro.campaigns.service", "repro.campaigns.client",
     ):
         importlib.import_module(module)
 
