@@ -1,0 +1,100 @@
+"""Scheme-zoo ablation: the new variants on the Fig. 13 RE/SRB comparison.
+
+Extends the Fig. 13 overall-comparison lineup with the literature variants
+the plugin registry added -- fixed gossip ``P(p)``, neighbor-adaptive
+gossip, the counter+probability hybrid and self-pruning -- and checks the
+qualitative placement the literature reports:
+
+- every zoo variant saves rebroadcasts on the dense map (flooding's SRB
+  stays identically 0);
+- fixed gossip's saving tracks ``1 - p`` where the network is dense, and
+  it loses reachability on sparse maps (the known GOSSIP1 weakness);
+- adaptive gossip recovers that sparse-map reachability by forcing
+  ``p = 1`` below ``n1`` neighbors while still saving when dense;
+- the hybrid never saves less than its pure-counter gate alone... loosely:
+  its saving sits between gossip's and the counter scheme's.
+
+Writes ``BENCH_scheme_zoo.json`` (override with ``REPRO_ZOO_OUT``) with
+the RE/SRB series per variant for the CI artifact.
+"""
+
+import json
+import os
+
+from conftest import run_once
+from repro.experiments.figures import fig13
+from repro.net.host import HelloConfig
+
+OUT_PATH = os.environ.get("REPRO_ZOO_OUT", "BENCH_scheme_zoo.json")
+
+DENSE = 1
+SPARSE = 9
+
+#: The Fig. 13 anchors plus every zoo variant at its default setting.
+ZOO_LINEUP = {
+    "flooding": ("flooding", {}, HelloConfig()),
+    "C=4": ("counter", {"threshold": 4}, HelloConfig()),
+    "AC": ("adaptive-counter", {}, HelloConfig()),
+    "P(0.7)": ("gossip", {"p": 0.7}, HelloConfig()),
+    "P(n)": ("adaptive-gossip", {}, HelloConfig()),
+    "C+P": ("counter-gossip", {}, HelloConfig()),
+    "SP": ("self-pruning", {}, HelloConfig()),
+}
+
+
+def test_scheme_zoo_re_srb_comparison(benchmark, bench_grid):
+    maps, n = bench_grid
+    result = run_once(
+        benchmark, fig13.run, maps=maps, num_broadcasts=n, lineup=ZOO_LINEUP
+    )
+    print()
+    print(result.table(metrics=("re", "srb")))
+
+    # Flooding baseline: SRB identically 0 on every map.
+    for units in maps:
+        assert result.value_at("flooding", units, "srb") == 0.0
+
+    # Every zoo variant saves rebroadcasts where the network is dense.
+    for label in ("P(0.7)", "P(n)", "C+P", "SP"):
+        assert result.value_at(label, DENSE, "srb") > 0.1, label
+
+    # Fixed gossip: saving tracks 1 - p on the dense map (within a broad
+    # band -- boundary hosts push it around)...
+    srb_gossip = result.value_at("P(0.7)", DENSE, "srb")
+    assert 0.15 < srb_gossip < 0.45
+    # ...but reachability suffers when sparse (the GOSSIP1 weakness).
+    re_gossip_sparse = result.value_at("P(0.7)", SPARSE, "re")
+    # Adaptive gossip forces p = 1 below n1 neighbors and wins it back.
+    re_adaptive_sparse = result.value_at("P(n)", SPARSE, "re")
+    assert re_adaptive_sparse >= re_gossip_sparse + 0.1
+    assert re_adaptive_sparse > 0.9
+
+    # Every variant keeps sane reachability on the dense map.
+    for label in ZOO_LINEUP:
+        assert result.value_at(label, DENSE, "re") > 0.9, label
+
+    # The hybrid's gates compose: it saves at least as much as its pure
+    # counter gate alone on the dense map (the coin can only thin more).
+    assert (
+        result.value_at("C+P", DENSE, "srb")
+        >= result.value_at("C=4", DENSE, "srb") - 0.02
+    )
+
+    report = {
+        "bench": "scheme_zoo",
+        "maps": list(maps),
+        "num_broadcasts": n,
+        "series": {
+            label: {
+                str(units): {
+                    "re": result.value_at(label, units, "re"),
+                    "srb": result.value_at(label, units, "srb"),
+                }
+                for units in maps
+            }
+            for label in ZOO_LINEUP
+        },
+    }
+    with open(OUT_PATH, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"wrote {OUT_PATH}")

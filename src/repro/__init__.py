@@ -14,9 +14,11 @@ The package is organized bottom-up:
 - :mod:`repro.mac` -- IEEE 802.11-like CSMA/CA DCF for broadcast frames.
 - :mod:`repro.net` -- packets, mobile hosts, neighbor discovery (HELLO),
   dynamic hello intervals and network-wide connectivity snapshots.
-- :mod:`repro.schemes` -- the broadcast schemes: flooding, fixed
-  counter/distance/location thresholds, and the paper's contributions
-  (adaptive counter, adaptive location, neighbor coverage).
+- :mod:`repro.schemes` -- the broadcast-scheme plugin registry and the
+  schemes themselves: flooding, fixed counter/distance/location
+  thresholds, the paper's contributions (adaptive counter, adaptive
+  location, neighbor coverage) and a literature zoo (gossip, adaptive
+  gossip, counter+gossip hybrid, self-pruning).
 - :mod:`repro.metrics` -- RE / SRB / latency collection.
 - :mod:`repro.faults` -- fault injection: host crash/recover churn,
   bursty (Gilbert-Elliott) link loss, HELLO suppression, and the
@@ -38,7 +40,14 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import SimulationResult, run_broadcast_simulation
 from repro.faults import FaultInjector, FaultPlan
 from repro.metrics.collector import BroadcastRecord, MetricsCollector
-from repro.schemes import SCHEME_REGISTRY, make_scheme
+from repro.schemes import (
+    SCHEME_REGISTRY,
+    ParamSpec,
+    SchemeSpec,
+    get_spec,
+    make_scheme,
+    register_scheme,
+)
 
 __version__ = "1.0.0"
 
@@ -51,6 +60,10 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "SCHEME_REGISTRY",
+    "SchemeSpec",
+    "ParamSpec",
+    "register_scheme",
+    "get_spec",
     "make_scheme",
     "__version__",
 ]

@@ -106,12 +106,15 @@ class CampaignSpec:
                     )
             if len(set(values)) != len(values):
                 raise SpecError(f"grid axis {axis!r} repeats values: {values}")
-        for scheme in self.grid.get("scheme", ()):
+        for scheme in list(self.grid.get("scheme", ())) + (
+            [self.scenario["scheme"]] if "scheme" in self.scenario else []
+        ):
             if scheme not in SCHEME_REGISTRY:
                 raise SpecError(
                     f"unknown scheme {scheme!r} (known: "
                     f"{', '.join(sorted(SCHEME_REGISTRY))})"
                 )
+        self._validate_scheme_params()
         for plan_name in self.grid.get("faults", ()):
             if plan_name != NO_FAULTS and plan_name not in self.fault_plans:
                 raise SpecError(
@@ -124,6 +127,51 @@ class CampaignSpec:
             scenario_from_dict(dict(self.scenario))
         except (ValueError, TypeError) as exc:
             raise SpecError(f"invalid [scenario] section: {exc}") from exc
+
+    def _swept_schemes(self) -> Tuple[str, ...]:
+        """Every scheme this campaign can run (grid axis, else base, else
+        the paper default)."""
+        swept = self.grid.get("scheme")
+        if swept:
+            return tuple(swept)
+        return (self.scenario.get("scheme", "flooding"),)
+
+    def _validate_scheme_params(self) -> None:
+        """Check dotted ``scheme_params.<key>`` axes and base-scenario
+        ``scheme_params`` keys against each swept scheme's parameter
+        schema -- a typo'd key must fail at load time, not silently run
+        the whole campaign on defaults."""
+        axis_params = {
+            axis[len("scheme_params."):]: values
+            for axis, values in self.grid.items()
+            if axis.startswith("scheme_params.")
+        }
+        base_params = self.scenario.get("scheme_params", {})
+        if not axis_params and not base_params:
+            return
+        for scheme in self._swept_schemes():
+            spec = SCHEME_REGISTRY[scheme]
+            for key in list(axis_params) + list(base_params):
+                if key not in spec.param_names:
+                    raise SpecError(
+                        f"scheme_params.{key} is not a parameter of swept "
+                        f"scheme {scheme!r} (accepted: "
+                        f"{spec.accepted_parameters()})"
+                    )
+            for key, values in axis_params.items():
+                param = spec.param(key)
+                if not param.sweepable:
+                    raise SpecError(
+                        f"scheme_params.{key} of scheme {scheme!r} takes a "
+                        "function object and cannot be swept from a spec"
+                    )
+                for value in values:
+                    error = param.validate(value)
+                    if error is not None:
+                        raise SpecError(
+                            f"scheme_params.{key} for scheme {scheme!r}: "
+                            f"{error}"
+                        )
 
     # ---------------------------------------------------------- identity
 

@@ -3,8 +3,10 @@
 Subcommands::
 
     repro-manet run --scheme adaptive-counter --map 9 --broadcasts 100
+    repro-manet run --scheme gossip --scheme-param p=0.6
     repro-manet figure fig07 --broadcasts 50 --maps 3 7 11
     repro-manet sweep --schemes flooding counter --maps 1 5 9
+    repro-manet schemes -v
     repro-manet campaign run sweep.toml --dir campaigns/ --jobs 4
     repro-manet serve --port 8642 --cache-dir .repro-cache
     repro-manet cache stats --cache-dir .repro-cache
@@ -71,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--counter-threshold", type=int, default=None)
     run_p.add_argument("--location-threshold", type=float, default=None)
+    _add_scheme_param_arg(run_p)
     run_p.add_argument("--hello-interval", type=float, default=1.0)
     run_p.add_argument("--dynamic-hello", action="store_true")
     run_p.add_argument(
@@ -130,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--schemes", nargs="+",
                          default=["flooding", "adaptive-counter"],
                          choices=sorted(SCHEME_REGISTRY))
+    _add_scheme_param_arg(sweep_p)
     sweep_p.add_argument("--maps", type=int, nargs="+", default=[1, 5, 9])
     sweep_p.add_argument("--hosts", type=int, default=100)
     sweep_p.add_argument("--broadcasts", type=int, default=30)
@@ -138,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--json", metavar="PATH", default=None,
                          help="also dump every run to a JSON file")
     _add_exec_args(sweep_p)
+
+    schemes_p = sub.add_parser(
+        "schemes", help="list every registered scheme and its parameters"
+    )
+    schemes_p.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also print each parameter's type, default and range",
+    )
 
     camp_p = sub.add_parser(
         "campaign",
@@ -210,6 +222,69 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_scheme_param_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scheme-param", action="append", default=None, metavar="KEY=VALUE",
+        dest="scheme_param",
+        help="set a scheme constructor parameter (repeatable; values are "
+        "coerced and range-checked against the scheme's schema -- see "
+        "'repro-manet schemes -v')",
+    )
+
+
+def _parse_scheme_params(scheme: str, pairs) -> dict:
+    """``--scheme-param KEY=VALUE`` pairs -> a schema-validated dict."""
+    from repro.schemes import get_spec
+
+    spec = get_spec(scheme)
+    params = {}
+    for pair in pairs or ():
+        key, sep, text = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --scheme-param expects KEY=VALUE, got {pair!r}"
+            )
+        if key not in spec.param_names:
+            raise SystemExit(
+                f"error: scheme {scheme!r} has no parameter {key!r} "
+                f"(accepted: {spec.accepted_parameters()})"
+            )
+        try:
+            params[key] = spec.param(key).coerce(text)
+        except ValueError as exc:
+            raise SystemExit(f"error: --scheme-param {pair!r}: {exc}")
+    errors = spec.validate_params(params)
+    if errors:
+        raise SystemExit(f"error: scheme {scheme!r}: " + "; ".join(errors))
+    return params
+
+
+def _schemes_cmd(args: argparse.Namespace) -> int:
+    flags_of = lambda spec: ",".join(
+        flag for flag, on in (
+            ("hello", spec.needs_hello),
+            ("2hop", spec.needs_two_hop_hello),
+            ("gps", spec.needs_position),
+        ) if on
+    ) or "-"
+    print(
+        f"{'name':<18} {'default':<22} {'needs':<15} {'origin':<10} "
+        "description"
+    )
+    for name, spec in SCHEME_REGISTRY.items():
+        print(
+            f"{name:<18} {spec.build().describe():<22} "
+            f"{flags_of(spec):<15} {spec.origin:<10} {spec.description}"
+        )
+        if args.verbose:
+            for param in spec.params:
+                line = f"    {param.describe()}"
+                if param.doc:
+                    line += f"  -- {param.doc}"
+                print(line)
+    return 0
+
+
 def _add_profile_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--profile", type=int, nargs="?", const=25, default=None,
@@ -275,6 +350,7 @@ def _run_single(args: argparse.Namespace) -> int:
         params["threshold"] = args.counter_threshold
     if args.location_threshold is not None:
         params["threshold"] = args.location_threshold
+    params.update(_parse_scheme_params(args.scheme, args.scheme_param))
     hello = HelloConfig(interval=args.hello_interval, dynamic=args.dynamic_hello)
     faults = None
     if args.faults is not None:
@@ -435,9 +511,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
         f"{'scheme':<20} {'map':>4} {'RE':>16} {'SRB':>16} {'latency':>10}"
     )
     for scheme in args.schemes:
+        # Validated per scheme: every swept scheme must accept every key.
+        params = _parse_scheme_params(scheme, args.scheme_param)
         for units in args.maps:
             config = ScenarioConfig(
                 scheme=scheme,
+                scheme_params=params,
                 map_units=units,
                 num_hosts=args.hosts,
                 num_broadcasts=args.broadcasts,
@@ -671,6 +750,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.campaign_command == "run":
             return _campaign_run_cmd(args)
         return _campaign_status_cmd(args)
+    if args.command == "schemes":
+        return _schemes_cmd(args)
     if args.command == "serve":
         return _serve_cmd(args)
     if args.command == "cache":

@@ -1,4 +1,4 @@
-"""Broadcast schemes: the paper's contributions and the [15] baselines.
+"""Broadcast schemes: the paper's contributions, [15] baselines, and a zoo.
 
 ===================  ==========================================  ==========
 Registry name        Scheme                                      Origin
@@ -10,29 +10,53 @@ location             fixed-threshold additional coverage ``A``   [15]
 adaptive-counter     ``C(n)`` of neighbor count                  this paper
 adaptive-location    ``A(n)`` of neighbor count                  this paper
 neighbor-coverage    two-hop pending-set suppression             this paper
+gossip               rebroadcast with fixed probability ``p``    literature
+adaptive-gossip      gossip with ``p(n)`` of neighbor count      literature
+counter-gossip       coin gate ``p`` + counter gate ``C``        literature
+self-pruning         one-shot pending-set pruning at S1          literature
 ===================  ==========================================  ==========
 
-:func:`make_scheme` builds a configured scheme instance from a registry
-name plus keyword parameters (e.g. ``make_scheme("counter", threshold=4)``).
+Each scheme class registers itself with the plugin registry
+(:mod:`repro.schemes.registry`) via the ``@register_scheme`` decorator,
+declaring its constructor parameter schema and provenance;
+:data:`SCHEME_REGISTRY` maps registry names to those
+:class:`~repro.schemes.registry.SchemeSpec` entries (each spec is itself a
+callable factory).  :func:`make_scheme` builds a configured instance from a
+registry name plus keyword parameters
+(e.g. ``make_scheme("counter", threshold=4)``), schema-validating the
+parameters first.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
-
-from repro.schemes.adaptive_counter import AdaptiveCounterScheme
-from repro.schemes.adaptive_location import AdaptiveLocationScheme
 from repro.schemes.base import (
     DeferredRebroadcastScheme,
     PendingBroadcast,
     RebroadcastScheme,
     SchemeHost,
 )
+from repro.schemes.registry import (
+    SCHEME_REGISTRY,
+    ParamSpec,
+    SchemeSpec,
+    get_spec,
+    make_scheme,
+    register_scheme,
+)
+
+# Importing the scheme modules runs their @register_scheme decorators and
+# populates SCHEME_REGISTRY.  Order fixes the registry's listing order:
+# paper schemes first, zoo variants after.
+from repro.schemes.flooding import FloodingScheme
 from repro.schemes.counter import CounterScheme
 from repro.schemes.distance import DistanceScheme
-from repro.schemes.flooding import FloodingScheme
 from repro.schemes.location import LocationScheme
+from repro.schemes.adaptive_counter import AdaptiveCounterScheme
+from repro.schemes.adaptive_location import AdaptiveLocationScheme
 from repro.schemes.neighbor_coverage import NeighborCoverageScheme
+from repro.schemes.gossip import AdaptiveGossipScheme, GossipScheme
+from repro.schemes.hybrid import CounterGossipScheme
+from repro.schemes.self_pruning import SelfPruningScheme
 from repro.schemes.thresholds import (
     make_counter_threshold,
     make_location_threshold,
@@ -50,31 +74,16 @@ __all__ = [
     "AdaptiveCounterScheme",
     "AdaptiveLocationScheme",
     "NeighborCoverageScheme",
+    "GossipScheme",
+    "AdaptiveGossipScheme",
+    "CounterGossipScheme",
+    "SelfPruningScheme",
+    "ParamSpec",
+    "SchemeSpec",
     "SCHEME_REGISTRY",
+    "register_scheme",
+    "get_spec",
     "make_scheme",
     "make_counter_threshold",
     "make_location_threshold",
 ]
-
-SCHEME_REGISTRY: Dict[str, Callable[..., RebroadcastScheme]] = {
-    "flooding": FloodingScheme,
-    "counter": CounterScheme,
-    "distance": DistanceScheme,
-    "location": LocationScheme,
-    "adaptive-counter": AdaptiveCounterScheme,
-    "adaptive-location": AdaptiveLocationScheme,
-    "neighbor-coverage": NeighborCoverageScheme,
-}
-
-
-def make_scheme(name: str, **params: Any) -> RebroadcastScheme:
-    """Instantiate a scheme from its registry name.
-
-    Raises ``ValueError`` with the list of known names on a bad name, so a
-    typo in an experiment config fails loudly and early.
-    """
-    factory = SCHEME_REGISTRY.get(name)
-    if factory is None:
-        known = ", ".join(sorted(SCHEME_REGISTRY))
-        raise ValueError(f"unknown scheme {name!r}; known schemes: {known}")
-    return factory(**params)

@@ -16,22 +16,68 @@ from typing import Optional
 
 from repro.schemes.base import PendingBroadcast
 from repro.schemes.counter import CounterScheme
-from repro.schemes.thresholds import CounterThresholdFn, make_counter_threshold
+from repro.schemes.registry import ParamSpec, register_scheme
+from repro.schemes.thresholds import (
+    DEFAULT_COUNTER_N1,
+    DEFAULT_COUNTER_N2,
+    MIDCURVE_SHAPES,
+    CounterThresholdFn,
+    make_counter_threshold,
+)
 
 __all__ = ["AdaptiveCounterScheme"]
 
 
+@register_scheme(
+    params=(
+        ParamSpec("threshold_fn", "callable",
+                  doc="explicit C(n) (default: the paper's tuned curve)"),
+        ParamSpec("n1", "int", minimum=1,
+                  doc=f"end of the C(n) = n + 1 rise "
+                      f"(default {DEFAULT_COUNTER_N1})"),
+        ParamSpec("n2", "int", minimum=2,
+                  doc=f"start of the floor C = 2 "
+                      f"(default {DEFAULT_COUNTER_N2})"),
+        ParamSpec("shape", "str", choices=MIDCURVE_SHAPES,
+                  doc="mid-curve shape between n1 and n2 "
+                      "(default 'linear')"),
+    ),
+    description="counter scheme with adaptive threshold C(n)",
+    origin="this paper",
+)
 class AdaptiveCounterScheme(CounterScheme):
-    """Counter scheme with threshold ``C(n)``."""
+    """Counter scheme with threshold ``C(n)``.
+
+    Pass either an explicit ``threshold_fn`` or the scalar curve knobs
+    ``(n1, n2, shape)`` -- the latter are sweepable from campaign specs and
+    ``--scheme-param``; combining both is an error.
+    """
 
     name = "adaptive-counter"
     needs_hello = True
 
-    def __init__(self, threshold_fn: Optional[CounterThresholdFn] = None) -> None:
+    def __init__(
+        self,
+        threshold_fn: Optional[CounterThresholdFn] = None,
+        n1: Optional[int] = None,
+        n2: Optional[int] = None,
+        shape: Optional[str] = None,
+    ) -> None:
         # Bypass CounterScheme's constant-threshold validation: we override
         # every use of ``self.threshold`` with the function below.
         super().__init__(threshold=2)
-        self.threshold_fn = threshold_fn or make_counter_threshold()
+        if threshold_fn is not None and not (n1 is n2 is shape is None):
+            raise ValueError(
+                "pass either threshold_fn or the curve knobs "
+                "(n1, n2, shape), not both"
+            )
+        if threshold_fn is None:
+            threshold_fn = make_counter_threshold(
+                n1 if n1 is not None else DEFAULT_COUNTER_N1,
+                n2 if n2 is not None else DEFAULT_COUNTER_N2,
+                shape if shape is not None else "linear",
+            )
+        self.threshold_fn = threshold_fn
 
     def describe(self) -> str:
         label = getattr(self.threshold_fn, "label", "C(n)")

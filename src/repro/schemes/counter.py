@@ -13,10 +13,19 @@ from typing import List, Optional, Tuple
 
 from repro.net.packets import BroadcastPacket
 from repro.schemes.base import DeferredRebroadcastScheme, PendingBroadcast
+from repro.schemes.registry import ParamSpec, register_scheme
 
 __all__ = ["CounterScheme"]
 
 
+@register_scheme(
+    params=(
+        ParamSpec("threshold", "int", 3, minimum=2,
+                  doc="inhibit after hearing the packet C times"),
+    ),
+    description="fixed-threshold counter C",
+    origin="[15]",
+)
 class CounterScheme(DeferredRebroadcastScheme):
     """Inhibit once the packet has been heard ``threshold`` times."""
 

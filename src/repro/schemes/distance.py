@@ -17,10 +17,20 @@ from typing import List, Optional, Tuple
 from repro.geometry.points import distance
 from repro.net.packets import BroadcastPacket
 from repro.schemes.base import DeferredRebroadcastScheme, PendingBroadcast
+from repro.schemes.registry import ParamSpec, register_scheme
 
 __all__ = ["DistanceScheme"]
 
 
+@register_scheme(
+    params=(
+        ParamSpec("threshold", "float", 125.0, minimum=0.0,
+                  doc="inhibit when the nearest heard transmitter is "
+                      "closer than D meters"),
+    ),
+    description="fixed-threshold distance D",
+    origin="[15]",
+)
 class DistanceScheme(DeferredRebroadcastScheme):
     """Inhibit when the nearest heard transmitter is closer than ``threshold``."""
 

@@ -12,10 +12,15 @@ from typing import Any, Optional, Tuple
 
 from repro.net.packets import BroadcastPacket
 from repro.schemes.base import DeferredRebroadcastScheme, PendingBroadcast
+from repro.schemes.registry import register_scheme
 
 __all__ = ["FloodingScheme"]
 
 
+@register_scheme(
+    description="blind flooding: every host rebroadcasts exactly once",
+    origin="baseline",
+)
 class FloodingScheme(DeferredRebroadcastScheme):
     """Rebroadcast every packet exactly once, immediately."""
 

@@ -1,0 +1,90 @@
+"""Counter + probability hybrid (PAPERS.md: "Improvised Broadcast Algorithm").
+
+The pure counter scheme always relays in sparse spots but wastes nothing on
+the coin; pure gossip thins the storm but can starve sparse regions.  The
+hybrid composes both gates: at S1 the host draws one Bernoulli coin with
+probability ``p`` -- a losing draw inhibits immediately, exactly like
+gossip -- and a winning draw falls through to the ordinary counter
+assessment, so the rebroadcast is still cancelled (S5) if the packet is
+heard ``threshold`` times before reaching the air.
+
+Equivalently: rebroadcast with probability ``p``, and only while
+``c < C``.  ``p = 1`` degenerates to the counter scheme and ``C = inf``
+(practically: a large threshold) to fixed gossip.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.packets import BroadcastPacket
+from repro.schemes.base import PendingBroadcast
+from repro.schemes.counter import CounterScheme
+from repro.schemes.gossip import DEFAULT_GOSSIP_P
+from repro.schemes.registry import ParamSpec, register_scheme
+
+__all__ = ["CounterGossipScheme"]
+
+#: A slightly laxer counter gate than the pure counter default: the coin
+#: already thins the relays, so the counter only needs to catch pile-ups.
+DEFAULT_HYBRID_THRESHOLD = 4
+
+
+@register_scheme(
+    params=(
+        ParamSpec("threshold", "int", DEFAULT_HYBRID_THRESHOLD, minimum=2,
+                  doc="counter gate: cancel once the packet was heard "
+                      "C times"),
+        ParamSpec("p", "float", DEFAULT_GOSSIP_P, minimum=0.0, maximum=1.0,
+                  doc="probability gate: one Bernoulli draw at S1"),
+    ),
+    description="hybrid: rebroadcast with probability p while c < C",
+    origin="literature",
+)
+class CounterGossipScheme(CounterScheme):
+    """Gossip coin at S1 composed with the counter threshold at S4."""
+
+    name = "counter-gossip"
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_HYBRID_THRESHOLD,
+        p: float = DEFAULT_GOSSIP_P,
+    ) -> None:
+        super().__init__(threshold=threshold)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"hybrid p is a probability, got {p}")
+        self.p = p
+
+    def describe(self) -> str:
+        return f"C={self.threshold},p={self.p:g}"
+
+    def init_assessment(
+        self,
+        packet: BroadcastPacket,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> List[float]:
+        # [c, draw]: the coin is drawn exactly once, at S1; a draw >= p
+        # loses (so p = 0 never relays, p = 1 always passes the gate).
+        return [1, self.host.scheme_rng.random()]
+
+    def update_assessment(
+        self,
+        state: PendingBroadcast,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> None:
+        state.assessment[0] += 1
+
+    def should_inhibit(self, state: PendingBroadcast) -> bool:
+        c, draw = state.assessment
+        return draw >= self.p or c >= self.threshold
+
+    def trace_provenance(self, state: PendingBroadcast):
+        # Report whichever gate is (or would be) decisive: the coin when
+        # it lost, the counter otherwise.
+        c, draw = state.assessment
+        if draw >= self.p:
+            return (None, self.p, draw)
+        return (None, self.threshold, c)

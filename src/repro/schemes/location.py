@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 from repro.geometry.coverage import DiskSampler
 from repro.net.packets import BroadcastPacket
 from repro.schemes.base import DeferredRebroadcastScheme, PendingBroadcast
+from repro.schemes.registry import ParamSpec, register_scheme
 
 __all__ = ["LocationScheme", "CoverageAssessment"]
 
@@ -29,6 +30,15 @@ class CoverageAssessment:
         self.ac = 1.0
 
 
+@register_scheme(
+    params=(
+        ParamSpec("threshold", "float", 0.0469, minimum=0.0, maximum=1.0,
+                  doc="inhibit when additional coverage (fraction of "
+                      "pi r^2) drops below A"),
+    ),
+    description="fixed-threshold additional coverage A",
+    origin="[15]",
+)
 class LocationScheme(DeferredRebroadcastScheme):
     """Inhibit when the additional coverage drops below a constant ``A``."""
 

@@ -20,10 +20,20 @@ from typing import Optional, Set, Tuple
 
 from repro.net.packets import BroadcastPacket
 from repro.schemes.base import DeferredRebroadcastScheme, PendingBroadcast
+from repro.schemes.registry import ParamSpec, register_scheme
 
 __all__ = ["NeighborCoverageScheme"]
 
 
+@register_scheme(
+    params=(
+        ParamSpec("oracle", "bool", False,
+                  doc="read neighbor sets from geometric truth instead of "
+                      "HELLO-built tables (staleness ablation)"),
+    ),
+    description="two-hop pending-set suppression",
+    origin="this paper",
+)
 class NeighborCoverageScheme(DeferredRebroadcastScheme):
     """Rebroadcast only while some neighbor is believed uncovered.
 

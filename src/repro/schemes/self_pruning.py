@@ -1,0 +1,55 @@
+"""Self-pruning efficient flooding (PAPERS.md: "Towards Optimal Broadcast").
+
+The simplest connected-dominating-set-flavoured baseline on the existing
+two-hop neighbor tables (Lim & Kim's self-pruning): when host ``x`` hears
+packet P from ``h``, it computes the same pending set the
+neighbor-coverage scheme does -- ``T = N_x - N_{x,h} - {h}`` -- but decides
+*once*, at S1.  If ``T`` is empty the rebroadcast is pruned immediately;
+otherwise the host relays after the usual jitter, and later copies of P
+never revisit the decision (no S4/S5 machinery).
+
+Compared with the paper's neighbor-coverage scheme this trades S4's extra
+suppression for a fixed, locally-evaluable forwarding rule -- the hosts
+that relay approximate a dominating set chosen against the first sender
+only.  Same knowledge requirements: HELLOs with piggybacked neighbor
+lists (``needs_hello`` + ``needs_two_hop_hello``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.schemes.base import PendingBroadcast
+from repro.schemes.neighbor_coverage import NeighborCoverageScheme
+from repro.schemes.registry import ParamSpec, register_scheme
+
+__all__ = ["SelfPruningScheme"]
+
+
+@register_scheme(
+    params=(
+        ParamSpec("oracle", "bool", False,
+                  doc="read neighbor sets from geometric truth instead of "
+                      "HELLO-built tables (staleness ablation)"),
+    ),
+    description="self-pruning: relay iff the first sender left "
+                "some neighbor uncovered",
+    origin="literature",
+)
+class SelfPruningScheme(NeighborCoverageScheme):
+    """Neighbor-coverage's S1 test with the S4 updates switched off."""
+
+    name = "self-pruning"
+
+    def describe(self) -> str:
+        return "SP(oracle)" if self.oracle else "SP"
+
+    def update_assessment(
+        self,
+        state: PendingBroadcast,
+        sender_id: int,
+        sender_position: Optional[Tuple[float, float]],
+    ) -> None:
+        # The decision is fixed at S1: later senders never shrink T, so a
+        # deferred rebroadcast always reaches the air.
+        pass

@@ -77,7 +77,13 @@ def counter_sequence(values: Sequence[int], name: str = "") -> CounterThresholdF
         return seq[index]
 
     threshold.sequence = seq  # type: ignore[attr-defined]
-    threshold.label = name or "".join(str(v) for v in seq)  # type: ignore[attr-defined]
+    # Single-digit sequences keep the paper's compact "234" notation; any
+    # threshold >= 10 forces a delimiter ([2, 10] must not read as "210").
+    if any(v >= 10 for v in seq):
+        label = "-".join(str(v) for v in seq)
+    else:
+        label = "".join(str(v) for v in seq)
+    threshold.label = name or label  # type: ignore[attr-defined]
     return threshold
 
 

@@ -97,3 +97,31 @@ def test_campaign_id_tracks_spec_digest():
     b = plan_campaign(make_spec(scenario={"num_hosts": 21}))
     assert a.campaign_id != b.campaign_id
     assert a.campaign_id.startswith("plan-test-")
+
+
+def test_zoo_variant_sweeps_end_to_end():
+    """A zoo scheme is plannable and runnable straight from a spec."""
+    spec = spec_from_dict({
+        "name": "zoo",
+        "grid": {"scheme": ["gossip"], "scheme_params.p": [0.4, 1.0]},
+        "scenario": {"map_units": 1, "num_hosts": 15, "num_broadcasts": 3},
+    })
+    plan = plan_campaign(spec)
+    assert [r.config.scheme_params["p"] for r in plan.runs] == [0.4, 1.0]
+
+
+def test_zoo_campaign_executes(tmp_path):
+    from repro.campaigns.queue import CampaignExecutor
+
+    spec = spec_from_dict({
+        "name": "zoo-exec",
+        "grid": {
+            "scheme": ["gossip", "counter-gossip"],
+            "scheme_params.p": [0.5],
+        },
+        "scenario": {"map_units": 1, "num_hosts": 15, "num_broadcasts": 3},
+    })
+    plan = plan_campaign(spec)
+    outcome = CampaignExecutor(plan, tmp_path / "c").run()
+    assert not outcome.resumable
+    assert outcome.completed == 2

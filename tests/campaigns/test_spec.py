@@ -141,3 +141,83 @@ def test_to_dict_round_trip():
     again = spec_from_dict(spec.to_dict())
     assert again == spec
     assert again.digest() == spec.digest()
+
+
+# ---------------------------------------- scheme_params schema validation
+
+
+def test_scheme_params_axis_valid_for_swept_scheme():
+    spec = spec_from_dict(minimal_dict(
+        grid={"scheme": ["gossip"], "scheme_params.p": [0.4, 0.7, 1.0]},
+    ))
+    assert spec.grid["scheme_params.p"] == (0.4, 0.7, 1.0)
+
+
+def test_scheme_params_axis_typo_fails_at_load():
+    # The satellite bug: a typo'd param axis used to run the whole
+    # campaign (and burn the cache) on defaults.
+    with pytest.raises(SpecError, match=r"scheme_params\.treshold.*counter"):
+        spec_from_dict(minimal_dict(
+            grid={"scheme": ["counter"], "scheme_params.treshold": [3, 4]},
+        ))
+
+
+def test_scheme_params_axis_error_names_accepted_params():
+    with pytest.raises(SpecError, match="threshold: int = 3"):
+        spec_from_dict(minimal_dict(
+            grid={"scheme": ["counter"], "scheme_params.nope": [1]},
+        ))
+
+
+def test_scheme_params_axis_must_fit_every_swept_scheme():
+    # p is a gossip knob, not a counter knob: the cross product is invalid.
+    with pytest.raises(SpecError, match="counter"):
+        spec_from_dict(minimal_dict(
+            grid={"scheme": ["gossip", "counter"], "scheme_params.p": [0.5]},
+        ))
+
+
+def test_scheme_params_axis_checked_against_base_scenario_scheme():
+    with pytest.raises(SpecError, match="flooding"):
+        spec_from_dict(minimal_dict(
+            grid={"seed": [1], "scheme_params.p": [0.5]},
+            scenario={"scheme": "flooding"},
+        ))
+    spec = spec_from_dict(minimal_dict(
+        grid={"seed": [1], "scheme_params.p": [0.5]},
+        scenario={"scheme": "gossip"},
+    ))
+    assert spec.grid["scheme_params.p"] == (0.5,)
+
+
+def test_scheme_params_axis_values_schema_checked():
+    with pytest.raises(SpecError, match="<= 1"):
+        spec_from_dict(minimal_dict(
+            grid={"scheme": ["gossip"], "scheme_params.p": [0.5, 1.5]},
+        ))
+    with pytest.raises(SpecError, match="must be an int"):
+        spec_from_dict(minimal_dict(
+            grid={"scheme": ["counter"], "scheme_params.threshold": [2.5]},
+        ))
+
+
+def test_scheme_params_callable_param_not_sweepable():
+    with pytest.raises(SpecError, match="cannot be swept"):
+        spec_from_dict(minimal_dict(
+            grid={
+                "scheme": ["adaptive-counter"],
+                "scheme_params.threshold_fn": ["linear"],
+            },
+        ))
+
+
+def test_base_scenario_scheme_params_keys_validated():
+    with pytest.raises(SpecError, match=r"scheme_params\.treshold"):
+        spec_from_dict(minimal_dict(
+            scenario={"scheme": "counter", "scheme_params": {"treshold": 4}},
+        ))
+
+
+def test_base_scenario_unknown_scheme_fails_at_load():
+    with pytest.raises(SpecError, match="unknown scheme"):
+        spec_from_dict(minimal_dict(scenario={"scheme": "telepathy"}))

@@ -263,3 +263,66 @@ def test_parse_size_and_age():
         parse_size("lots")
     with pytest.raises(ValueError):
         parse_age("soon")
+
+
+def test_schemes_command_lists_registry(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    from repro.schemes import SCHEME_REGISTRY
+
+    for name in SCHEME_REGISTRY:
+        assert name in out
+
+
+def test_schemes_command_verbose_shows_params(capsys):
+    assert main(["schemes", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "threshold: int = 3" in out
+    assert "p: float = 0.7" in out
+
+
+def test_run_command_scheme_param(capsys):
+    exit_code = main(
+        [
+            "run", "--scheme", "counter-gossip", "--scheme-param", "p=0.5",
+            "--scheme-param", "threshold=5", "--map", "3", "--hosts", "20",
+            "--broadcasts", "3",
+        ]
+    )
+    assert exit_code == 0
+    assert "counter-gossip@3x3" in capsys.readouterr().out
+
+
+def test_run_command_scheme_param_unknown_key():
+    with pytest.raises(SystemExit, match="no parameter"):
+        main(["run", "--scheme", "gossip", "--scheme-param", "q=0.5"])
+
+
+def test_run_command_scheme_param_bad_value():
+    with pytest.raises(SystemExit, match="p"):
+        main(["run", "--scheme", "gossip", "--scheme-param", "p=high"])
+    with pytest.raises(SystemExit, match="<= 1"):
+        main(["run", "--scheme", "gossip", "--scheme-param", "p=1.5"])
+    with pytest.raises(SystemExit, match="KEY=VALUE"):
+        main(["run", "--scheme", "gossip", "--scheme-param", "p0.5"])
+
+
+def test_sweep_command_scheme_param(capsys):
+    exit_code = main(
+        [
+            "sweep", "--schemes", "gossip", "--scheme-param", "p=0.8",
+            "--maps", "1", "--hosts", "20", "--broadcasts", "3",
+        ]
+    )
+    assert exit_code == 0
+    assert "gossip" in capsys.readouterr().out
+
+
+def test_sweep_command_scheme_param_must_fit_every_scheme():
+    with pytest.raises(SystemExit, match="flooding"):
+        main(
+            [
+                "sweep", "--schemes", "gossip", "flooding",
+                "--scheme-param", "p=0.8", "--maps", "1",
+            ]
+        )

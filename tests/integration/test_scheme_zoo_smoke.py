@@ -1,0 +1,64 @@
+"""Scheme-zoo smoke: every registered scheme runs one small seeded scenario.
+
+The CI ``scheme-zoo-smoke`` job runs this module.  It instantiates every
+registry entry with defaults, runs each on the same dense seeded scenario
+and checks the cross-scheme invariants: flooding relays everywhere (its
+SRB is zero and its data-frame count is the upper bound) and every
+suppression scheme saves some rebroadcasts without losing sanity on RE.
+Registry completeness (unique names, unique ``describe()`` strings, valid
+parameter schemas) is pinned by ``tests/schemes/test_registry.py``.
+"""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_broadcast_simulation
+from repro.schemes import SCHEME_REGISTRY
+
+#: Dense enough that every suppression family has something to suppress.
+SCENARIO = dict(map_units=3, num_hosts=40, num_broadcasts=8, seed=11)
+
+
+@pytest.fixture(scope="module")
+def zoo_results():
+    return {
+        name: run_broadcast_simulation(ScenarioConfig(scheme=name, **SCENARIO))
+        for name in sorted(SCHEME_REGISTRY)
+    }
+
+
+def _data_frames(result):
+    """Broadcast data transmissions (channel total minus HELLO frames)."""
+    return result.channel_stats.transmissions - result.stats.hello_packets_sent
+
+
+def test_every_scheme_runs_with_defaults(zoo_results):
+    assert set(zoo_results) == set(SCHEME_REGISTRY)
+
+
+def test_re_and_srb_are_sane(zoo_results):
+    for name, result in zoo_results.items():
+        assert 0.0 < result.re <= 1.0, name
+        assert 0.0 <= result.srb < 1.0, name
+        assert result.stats.broadcasts == SCENARIO["num_broadcasts"], name
+
+
+def test_flooding_is_the_upper_bound(zoo_results):
+    flooding = zoo_results["flooding"]
+    assert flooding.srb == 0.0  # flooding never saves a rebroadcast
+    for name, result in zoo_results.items():
+        assert result.srb >= flooding.srb, name
+        assert _data_frames(result) <= _data_frames(flooding), name
+
+
+def test_every_suppression_scheme_saves_something(zoo_results):
+    for name, result in zoo_results.items():
+        if name == "flooding":
+            continue
+        assert result.srb > 0.0, name
+
+
+def test_hello_traffic_matches_declared_needs(zoo_results):
+    for name, result in zoo_results.items():
+        needs_hello = SCHEME_REGISTRY[name].needs_hello
+        assert (result.stats.hello_packets_sent > 0) == needs_hello, name

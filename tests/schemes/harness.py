@@ -10,14 +10,19 @@ from repro.sim.engine import Scheduler
 
 
 class FakeRng:
-    """randint() always returns a fixed value (deterministic jitter)."""
+    """randint() / random() return fixed values (deterministic draws)."""
 
-    def __init__(self, value: int = 0):
+    def __init__(self, value: int = 0, random_value: float = 0.0):
         self.value = value
+        self.random_value = random_value
 
     def randint(self, a, b):
         assert a <= self.value <= b
         return self.value
+
+    def random(self):
+        assert 0.0 <= self.random_value < 1.0
+        return self.random_value
 
 
 class FakeMacHandle:
@@ -47,9 +52,9 @@ class FakeHost:
     """Implements the SchemeHost duck interface with full observability."""
 
     def __init__(self, scheme, host_id=1, position=(0.0, 0.0), neighbors=0,
-                 radius=500.0, jitter=0):
+                 radius=500.0, jitter=0, random_value=0.0):
         self.scheduler = Scheduler()
-        self.scheme_rng = FakeRng(jitter)
+        self.scheme_rng = FakeRng(jitter, random_value)
         self.slot_time = 20e-6
         self.host_id = host_id
         self._position = position

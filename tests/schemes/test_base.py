@@ -100,8 +100,11 @@ def test_independent_packets_tracked_separately():
 
 def test_registry_contains_all_schemes():
     assert set(SCHEME_REGISTRY) == {
+        # the paper's schemes and the [15] baselines...
         "flooding", "counter", "distance", "location",
         "adaptive-counter", "adaptive-location", "neighbor-coverage",
+        # ...and the literature zoo
+        "gossip", "adaptive-gossip", "counter-gossip", "self-pruning",
     }
 
 
@@ -113,3 +116,80 @@ def test_make_scheme_passes_params():
 def test_make_scheme_unknown_name():
     with pytest.raises(ValueError, match="unknown scheme"):
         make_scheme("telepathy")
+
+
+# ------------------------------------------------ S5 edge races (PR 8)
+
+
+def test_cancel_too_late_race_drained_by_on_air():
+    """S5 loses the race to the air: the MAC has started transmitting but
+    the on-air callback has not landed yet.  No inhibit is recorded and the
+    pending entry survives until _on_air drains it."""
+    host = FakeHost(CounterScheme(threshold=2), jitter=0)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.run_jitter()
+    handle = host.submitted[0]
+    handle.transmitted = True  # on the air; cancel() will return False
+    host.hear_again(packet)
+    assert host.inhibited == []
+    assert host.scheme.pending_count() == 1
+    handle.on_transmit_start()  # the in-flight callback lands
+    assert host.scheme.pending_count() == 0
+    host.hear_again(packet)  # later copies are plain no-ops
+    assert host.inhibited == []
+
+
+def test_reset_with_queued_mac_handle():
+    """reset() (host crash) withdraws a queued-but-unsent MAC frame and
+    records no inhibit -- a crashed host never decided anything."""
+    host = FakeHost(CounterScheme(threshold=3), jitter=0)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.run_jitter()  # submitted to the MAC, not yet transmitted
+    handle = host.submitted[0]
+    assert not handle.transmitted
+    host.scheme.reset()
+    assert handle.cancelled
+    assert host.scheme.pending_count() == 0
+    assert host.inhibited == []
+    host.hear_again(packet)  # no stale state resurrects after the crash
+    assert host.inhibited == []
+
+
+def test_reset_during_jitter_wait():
+    host = FakeHost(CounterScheme(threshold=3), jitter=10)
+    host.hear_first(make_packet())
+    host.scheme.reset()
+    host.run_jitter()
+    assert host.submitted == []
+    assert host.inhibited == []
+
+
+# --------------------------- isolated-host behavior, registry-driven
+
+
+#: Pending-set schemes prune immediately when no neighbor is known.
+ISOLATED_INHIBITORS = {"neighbor-coverage", "self-pruning"}
+
+
+@pytest.mark.parametrize("name", sorted(SCHEME_REGISTRY))
+def test_isolated_host_first_hear(name):
+    """A host with zero known neighbors hears one far-away copy.
+
+    Every threshold family keeps an isolated host on the forced-rebroadcast
+    side: C(0) maps to the sequence's first value, A(0) = 0, one heard copy
+    is below any counter gate, and the fake rng's coin (0.0) always wins.
+    Only the pending-set schemes inhibit -- T is empty with nobody to cover.
+    """
+    spec = SCHEME_REGISTRY[name]
+    host = FakeHost(spec.build(), neighbors=0, position=(0.0, 0.0))
+    packet = make_packet(tx_position=(400.0, 0.0))
+    host.hear_first(packet)
+    host.run_jitter()
+    if name in ISOLATED_INHIBITORS:
+        assert host.inhibited == [packet.key]
+        assert host.submitted == []
+    else:
+        assert host.inhibited == []
+        assert len(host.submitted) == 1

@@ -123,3 +123,11 @@ class TestLocationThreshold:
         fn = make_location_threshold(n1=6, n2=12)
         assert fn.label == "AL(n1=6,n2=12)"
         assert fn.n1 == 6 and fn.n2 == 12
+
+
+def test_counter_sequence_label_delimits_multidigit_thresholds():
+    # [2, 10] must not render as "210" (ambiguous with [2, 1, 0]).
+    assert counter_sequence([2, 10]).label == "2-10"
+    assert counter_sequence([2, 10, 12]).label == "2-10-12"
+    # Single-digit paper sequences keep the compact notation.
+    assert counter_sequence([2, 3, 4]).label == "234"

@@ -1,0 +1,173 @@
+"""Unit behavior of the zoo variants: gossip, hybrid, self-pruning."""
+
+import pytest
+
+from repro.schemes import (
+    AdaptiveGossipScheme,
+    CounterGossipScheme,
+    GossipScheme,
+    SelfPruningScheme,
+)
+
+from tests.schemes.harness import FakeHost, make_packet
+
+# ------------------------------------------------------------- gossip
+
+
+def test_gossip_winning_coin_relays_once():
+    host = FakeHost(GossipScheme(p=0.7), random_value=0.5, jitter=0)
+    packet = make_packet()
+    host.hear_first(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+    assert host.inhibited == []
+
+
+def test_gossip_losing_coin_inhibits_immediately():
+    host = FakeHost(GossipScheme(p=0.7), random_value=0.9)
+    packet = make_packet()
+    host.hear_first(packet)
+    assert host.scheme.pending_count() == 0  # decided at S1, no defer
+    assert host.inhibited == [packet.key]
+    host.run_jitter()
+    assert host.submitted == []
+
+
+def test_gossip_rehearing_never_cancels():
+    # No S4: the winning coin is final, however often the packet is heard.
+    host = FakeHost(GossipScheme(p=0.7), random_value=0.5, jitter=31)
+    packet = make_packet()
+    host.hear_first(packet)
+    for _ in range(10):
+        host.hear_again(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+    assert host.inhibited == []
+
+
+def test_gossip_boundary_probabilities():
+    # random() is in [0, 1): p=1 always relays, p=0 never does.
+    always = FakeHost(GossipScheme(p=1.0), random_value=0.999, jitter=0)
+    always.hear_first(make_packet())
+    always.run_jitter()
+    assert len(always.submitted) == 1
+
+    never = FakeHost(GossipScheme(p=0.0), random_value=0.0)
+    never.hear_first(make_packet())
+    assert never.inhibited
+
+
+def test_gossip_rejects_bad_p():
+    with pytest.raises(ValueError):
+        GossipScheme(p=1.5)
+
+
+def test_adaptive_gossip_p_of_n():
+    scheme = AdaptiveGossipScheme(n1=4, p_min=0.4)
+    host = FakeHost(scheme, neighbors=0)
+    assert scheme.rebroadcast_probability() == 1.0  # sparse: sure relay
+    host._neighbor_count = 4
+    assert scheme.rebroadcast_probability() == 1.0
+    host._neighbor_count = 8
+    assert scheme.rebroadcast_probability() == pytest.approx(0.5)
+    host._neighbor_count = 100
+    assert scheme.rebroadcast_probability() == 0.4  # the floor
+
+
+def test_adaptive_gossip_draws_against_current_p():
+    scheme = AdaptiveGossipScheme(n1=4, p_min=0.4)
+    host = FakeHost(scheme, neighbors=20, random_value=0.5, jitter=0)
+    packet = make_packet()
+    host.hear_first(packet)  # p(20) = 0.4 < draw 0.5 -> inhibit
+    assert host.inhibited == [packet.key]
+
+
+# ------------------------------------------------------------- hybrid
+
+
+def test_hybrid_losing_coin_inhibits_immediately():
+    host = FakeHost(CounterGossipScheme(threshold=4, p=0.3), random_value=0.8)
+    packet = make_packet()
+    host.hear_first(packet)
+    assert host.inhibited == [packet.key]
+
+
+def test_hybrid_winning_coin_still_counter_gated():
+    host = FakeHost(
+        CounterGossipScheme(threshold=3, p=0.9), random_value=0.1, jitter=31
+    )
+    packet = make_packet()
+    host.hear_first(packet)  # c=1, coin won -> defer
+    host.hear_again(packet)  # c=2 < 3
+    assert host.inhibited == []
+    host.hear_again(packet)  # c=3 >= 3 -> cancel
+    assert host.inhibited == [packet.key]
+    host.run_jitter()
+    assert host.submitted == []
+
+
+def test_hybrid_winning_coin_below_threshold_relays():
+    host = FakeHost(
+        CounterGossipScheme(threshold=4, p=0.9), random_value=0.1, jitter=0
+    )
+    packet = make_packet()
+    host.hear_first(packet)
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_hybrid_rejects_bad_params():
+    with pytest.raises(ValueError):
+        CounterGossipScheme(threshold=1)
+    with pytest.raises(ValueError):
+        CounterGossipScheme(p=-0.1)
+
+
+# ------------------------------------------------------- self-pruning
+
+
+def _two_hop_host(scheme):
+    """Host 1 with neighbors {2, 3}; sender 2's own neighbors are {1}."""
+    host = FakeHost(scheme, host_id=1, jitter=31)
+    host.learn_neighbor(2, two_hop=(1,))
+    host.learn_neighbor(3, two_hop=(1,))
+    return host
+
+
+def test_self_pruning_relays_when_first_sender_leaves_gap():
+    host = _two_hop_host(SelfPruningScheme())
+    packet = make_packet(source=2, tx_id=2)
+    host.hear_first(packet, sender_id=2)  # T = {2,3} - {1} - {2} = {3}
+    assert host.scheme.pending_count() == 1
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_self_pruning_prunes_when_first_sender_covers_all():
+    host = FakeHost(SelfPruningScheme(), host_id=1, jitter=31)
+    host.learn_neighbor(2, two_hop=(1, 3))
+    host.learn_neighbor(3, two_hop=(1, 2))
+    packet = make_packet(source=2, tx_id=2)
+    host.hear_first(packet, sender_id=2)  # T = {2,3} - {1,3} - {2} = {}
+    assert host.inhibited == [packet.key]
+
+
+def test_self_pruning_ignores_later_senders():
+    # The NC scheme would cancel here; self-pruning decided at S1.
+    host = _two_hop_host(SelfPruningScheme())
+    packet = make_packet(source=2, tx_id=2)
+    host.hear_first(packet, sender_id=2)  # T = {3}
+    host.hear_again(packet, sender_id=3)  # NC: T -> {}; SP: unchanged
+    assert host.inhibited == []
+    host.run_jitter()
+    assert len(host.submitted) == 1
+
+
+def test_self_pruning_differs_from_nc_only_in_s4():
+    from repro.schemes import NeighborCoverageScheme
+
+    nc_host = _two_hop_host(NeighborCoverageScheme())
+    packet = make_packet(source=2, tx_id=2)
+    nc_host.hear_first(packet, sender_id=2)
+    nc_host.hear_again(packet, sender_id=3)
+    assert nc_host.inhibited == [packet.key]  # the S4 cancel SP gives up
