@@ -37,8 +37,13 @@ Quickstart::
 """
 
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import SimulationResult, run_broadcast_simulation
+from repro.experiments.runner import (
+    SimulationResult,
+    run_broadcast_batch,
+    run_broadcast_simulation,
+)
 from repro.faults import FaultInjector, FaultPlan
+from repro.kernel import kernel_override, resolve_kernel, set_kernel_mode
 from repro.metrics.collector import BroadcastRecord, MetricsCollector
 from repro.schemes import (
     SCHEME_REGISTRY,
@@ -55,6 +60,10 @@ __all__ = [
     "ScenarioConfig",
     "SimulationResult",
     "run_broadcast_simulation",
+    "run_broadcast_batch",
+    "kernel_override",
+    "resolve_kernel",
+    "set_kernel_mode",
     "BroadcastRecord",
     "MetricsCollector",
     "FaultPlan",

@@ -25,4 +25,16 @@ __all__ = [
     "RandomWaypointMobility",
     "StaticMobility",
     "make_mobility",
+    "PositionBuffers",
+    "PositionStore",
 ]
+
+
+def __getattr__(name):
+    # PositionStore lives behind a lazy import: it needs numpy, which the
+    # scalar kernel must not require.
+    if name in ("PositionStore", "PositionBuffers"):
+        from repro.mobility import store
+
+        return getattr(store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

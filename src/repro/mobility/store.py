@@ -1,0 +1,253 @@
+"""Batched host positions: numpy arrays over every host's mobility state.
+
+The scalar kernel asks each host's :class:`~repro.mobility.models
+.MobilityModel` for its position one call at a time, behind per-instant
+memos.  At 1000+ hosts a single transmission's receiver scan makes ~N such
+calls, and a dense broadcast storm makes thousands of scans -- the Python
+call overhead dominates the whole simulation.
+
+:class:`PositionStore` mirrors every host's current motion segment
+``(origin, velocity, segment start/end)`` into numpy arrays and evaluates
+**all** positions for a timestamp in one batched call per *position epoch*
+(the first query at each distinct simulation time).  Subsequent queries at
+the same instant are served from the cached arrays.
+
+Bit-identity contract
+---------------------
+The batched evaluation is float-for-float the same arithmetic as
+:meth:`_SegmentedMobility.position`:
+
+- per element, ``x = origin + velocity * dt`` is one IEEE-754 multiply and
+  one add, in numpy exactly as in CPython;
+- the reflective fold is only applied to out-of-bounds coordinates and is
+  delegated to the *same* :func:`repro.mobility.map._fold` scalar code the
+  models use (numpy ``%`` has different semantics for negatives, so it is
+  deliberately not used);
+- segment rolls are delegated to the models themselves (``_roll_to``), so
+  every RNG draw happens on the same per-host stream in the same per-host
+  order as lazy scalar querying.  Batching *can* roll a host's segments at
+  an earlier wall point than the scalar kernel would (e.g. a crashed host
+  keeps moving but is never scanned), but since each built-in model draws
+  from a private stream the drawn values -- and therefore every position
+  ever observed -- are identical.  This is why the store refuses models it
+  does not recognize: a custom model might share one RNG across hosts, and
+  batched advancement would reorder those draws.
+
+Buffer reuse
+------------
+``PositionBuffers`` lets a batch driver (many seeds, one process -- see
+:func:`repro.experiments.runner.run_broadcast_batch`) reuse the numpy
+allocations across world builds instead of reallocating eight arrays per
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.map import RectMap, _fold
+from repro.mobility.models import MobilityModel, StaticMobility, _SegmentedMobility
+
+__all__ = ["PositionBuffers", "PositionStore", "supports_models"]
+
+
+def supports_models(models: Sequence[MobilityModel]) -> bool:
+    """Whether every model is a built-in the store can vectorize."""
+    return all(
+        isinstance(m, (_SegmentedMobility, StaticMobility)) for m in models
+    )
+
+
+class PositionBuffers:
+    """Reusable numpy allocations for :class:`PositionStore`.
+
+    Grows monotonically to the largest host count seen; a store for
+    ``n <= capacity`` hosts slices views out of the shared arrays.
+    """
+
+    __slots__ = ("capacity", "_arrays")
+
+    #: Per-store array fields, in allocation order.
+    FIELDS = ("ox", "oy", "vx", "vy", "t0", "t1", "x", "y")
+
+    def __init__(self, capacity: int = 0) -> None:
+        self.capacity = 0
+        self._arrays: List[np.ndarray] = []
+        if capacity:
+            self.reserve(capacity)
+
+    def reserve(self, capacity: int) -> None:
+        if capacity > self.capacity:
+            self._arrays = [
+                np.empty(capacity, dtype=np.float64) for _ in self.FIELDS
+            ]
+            self.capacity = capacity
+
+    def views(self, n: int) -> List[np.ndarray]:
+        """Length-``n`` views over the shared buffers (grown as needed)."""
+        self.reserve(n)
+        return [arr[:n] for arr in self._arrays]
+
+
+class PositionStore:
+    """Vectorized per-instant positions for hosts ``0 .. n-1``.
+
+    One instance per :class:`~repro.net.network.Network` (vector kernel
+    only).  Queries must be non-decreasing in time, which the event-driven
+    scheduler guarantees.
+    """
+
+    __slots__ = (
+        "size", "_models", "_world_w", "_world_h",
+        "_ox", "_oy", "_vx", "_vy", "_t0", "_t1", "_x", "_y",
+        "_time", "_lazy_time",
+        "epoch_hits", "batch_evals", "lazy_reads", "segment_rolls",
+    )
+
+    def __init__(
+        self,
+        models: Sequence[MobilityModel],
+        world: RectMap,
+        buffers: Optional[PositionBuffers] = None,
+    ) -> None:
+        if not supports_models(models):
+            unsupported = sorted(
+                {
+                    type(m).__name__
+                    for m in models
+                    if not isinstance(m, (_SegmentedMobility, StaticMobility))
+                }
+            )
+            raise ValueError(
+                f"PositionStore cannot vectorize mobility model(s): "
+                f"{', '.join(unsupported)}"
+            )
+        self.size = len(models)
+        self._models = list(models)
+        self._world_w = world.width
+        self._world_h = world.height
+        arrays = (buffers or PositionBuffers()).views(self.size)
+        (self._ox, self._oy, self._vx, self._vy,
+         self._t0, self._t1, self._x, self._y) = arrays
+        for i, model in enumerate(self._models):
+            if isinstance(model, StaticMobility):
+                x, y = model.position(0.0)
+                self._ox[i] = x
+                self._oy[i] = y
+                self._vx[i] = 0.0
+                self._vy[i] = 0.0
+                self._t0[i] = 0.0
+                self._t1[i] = np.inf
+            else:
+                # Segment state is synced on first evaluation (the model
+                # has not started yet); -inf forces the initial roll.
+                self._t1[i] = -np.inf
+        self._time = -1.0
+        self._lazy_time = -1.0
+        #: Queries served from the cached current-epoch arrays.
+        self.epoch_hits = 0
+        #: Batched all-host evaluations (one per position epoch).
+        self.batch_evals = 0
+        #: Single-host reads at a not-yet-batched timestamp (delegated to
+        #: the model's own scalar fast path).
+        self.lazy_reads = 0
+        #: Motion segments rolled forward during batched evaluations.
+        self.segment_rolls = 0
+
+    # -------------------------------------------------------------- sync
+
+    def _sync_row(self, i: int, model: "_SegmentedMobility") -> None:
+        self._ox[i], self._oy[i] = model._seg_origin
+        self._vx[i], self._vy[i] = model._velocity
+        self._t0[i] = model._seg_start_time
+        self._t1[i] = model._seg_end_time
+
+    # ----------------------------------------------------------- queries
+
+    def arrays_at(self, time: float) -> Tuple[np.ndarray, np.ndarray]:
+        """All host positions at ``time`` as ``(x, y)`` float64 arrays.
+
+        The returned arrays are the store's epoch cache: treat them as
+        read-only and do not hold them across epochs.
+        """
+        if time == self._time:
+            self.epoch_hits += 1
+            return self._x, self._y
+        if time < self._time:
+            raise ValueError(
+                f"non-monotonic batched position query: t={time} after "
+                f"t={self._time}"
+            )
+        self.batch_evals += 1
+        models = self._models
+        # Roll hosts whose current segment ended (or never started).  The
+        # model does the rolling -- same RNG stream, same draw order as the
+        # scalar kernel -- and the row is re-synced from its state.  A row
+        # can also be stale because the model was queried directly (lazy
+        # read); _roll_to is then a no-op and the sync still repairs it.
+        stale = np.nonzero(self._t1 < time)[0]
+        if stale.size:
+            self.segment_rolls += int(stale.size)
+            for i in stale.tolist():
+                model = models[i]
+                model._roll_to(time)
+                self._sync_row(i, model)
+        # One multiply + one add per coordinate: exactly the scalar
+        # kernel's ``origin + velocity * dt`` (IEEE addition commutes
+        # bitwise, so ``vx * dt + ox`` == ``ox + vx * dt``).
+        x = self._x
+        y = self._y
+        dt = time - self._t0
+        np.multiply(self._vx, dt, out=x)
+        x += self._ox
+        np.multiply(self._vy, dt, out=y)
+        y += self._oy
+        # Reflective fold for the rare segment that exits the map between
+        # rolls; in-bounds coordinates are untouched (the scalar fast
+        # path's identity).  Static rows (t1 == +inf) never fold: velocity
+        # 0 keeps them at their (possibly off-map, in tests) fixed point,
+        # just like StaticMobility itself.
+        w = self._world_w
+        h = self._world_h
+        oob = (x < 0.0) | (x > w)
+        oob |= (y < 0.0) | (y > h)
+        oob &= np.isfinite(self._t1)
+        if oob.any():
+            for i in np.nonzero(oob)[0].tolist():
+                x[i] = _fold(float(x[i]), w)
+                y[i] = _fold(float(y[i]), h)
+        self._time = time
+        return x, y
+
+    def position_of(self, host_id: int, time: float) -> Tuple[float, float]:
+        """One host's position at ``time``.
+
+        Served from the epoch cache when the batched arrays are already at
+        ``time``.  The first straggler at a new instant (a scheme asking
+        for its own position between scans) is delegated to the model's
+        own (bit-identical) scalar fast path rather than paying an O(n)
+        epoch; a *second* single-host read at the same instant promotes it
+        to a batched epoch -- same-instant bursts (every receiver of one
+        frame delivering at its end time) then hit the cache.
+        """
+        if time == self._time:
+            self.epoch_hits += 1
+            return (float(self._x[host_id]), float(self._y[host_id]))
+        if time == self._lazy_time:
+            x, y = self.arrays_at(time)
+            self.epoch_hits += 1
+            return (float(x[host_id]), float(y[host_id]))
+        self._lazy_time = time
+        self.lazy_reads += 1
+        return self._models[host_id].position(time)
+
+    # ------------------------------------------------------------- debug
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PositionStore(n={self.size}, t={self._time}, "
+            f"epochs={self.batch_evals}, hits={self.epoch_hits}, "
+            f"lazy={self.lazy_reads})"
+        )

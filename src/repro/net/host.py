@@ -75,7 +75,7 @@ class MobileHost:
         "unicast_handler", "dup_cache", "neighbor_table", "mac",
         "hello_enabled", "_hello_started", "_hello_event",
         "_hello_muted_until", "alive", "_pos_time", "_pos", "pos_hits",
-        "pos_misses", "_airtime_cache", "trace",
+        "pos_misses", "_airtime_cache", "trace", "position_store",
     )
 
     def __init__(
@@ -93,6 +93,7 @@ class MobileHost:
         hello_config: Optional[HelloConfig] = None,
         oracle_neighbors: bool = False,
         trace: Optional[Any] = None,
+        position_store: Optional[Any] = None,
     ) -> None:
         self.host_id = host_id
         self.scheduler = scheduler
@@ -138,6 +139,10 @@ class MobileHost:
         self._pos: Tuple[float, float] = (0.0, 0.0)
         self.pos_hits = 0
         self.pos_misses = 0
+        #: Vector kernel only: the network-wide batched position arrays.
+        #: When set, :meth:`position` reads through it (epoch cache, then
+        #: the model itself) and the per-host memo above goes unused.
+        self.position_store = position_store
         self._airtime_cache: dict = {}
 
         scheme.attach(self)
@@ -203,6 +208,9 @@ class MobileHost:
     # ------------------------------------------------------- SchemeHost API
 
     def position(self) -> Tuple[float, float]:
+        store = self.position_store
+        if store is not None:
+            return store.position_of(self.host_id, self.scheduler._now)
         now = self.scheduler._now
         if now == self._pos_time:
             self.pos_hits += 1

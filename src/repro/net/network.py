@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.kernel import resolve_kernel
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.connectivity import reachable_set
 from repro.mobility.map import RectMap
@@ -46,6 +47,8 @@ class Network:
         mobility_factory: Optional[Callable[[int], "MobilityModel"]] = None,
         capture: Optional["CaptureModel"] = None,
         trace: Optional[Any] = None,
+        kernel: Optional[str] = None,
+        position_buffers: Optional[Any] = None,
     ) -> None:
         if num_hosts < 1:
             raise ValueError(f"need at least one host, got {num_hosts}")
@@ -64,30 +67,61 @@ class Network:
             speed_bound = 0.0
         else:
             speed_bound = kmh_to_ms(max_speed_kmh)
-        self.channel = Channel(
-            scheduler, params, self._position_of, drop_predicate,
-            capture=capture, max_speed_ms=speed_bound, trace=trace,
-        )
-        self._seq = 0
 
+        # All mobility models are built before the channel so the vector
+        # kernel can mirror them into a PositionStore.  Stream creation
+        # order (mobility/0, mobility/1, ...) is unchanged.
+        models: List[MobilityModel] = []
         for host_id in range(num_hosts):
             if mobility_factory is not None:
                 # Tests and topology-controlled experiments supply exact
                 # per-host mobility (e.g. static line / grid layouts).
-                mobility_model = mobility_factory(host_id)
+                models.append(mobility_factory(host_id))
             else:
-                mobility_model = make_mobility(
-                    mobility,
-                    world,
-                    streams.stream(f"mobility/{host_id}"),
-                    max_speed_kmh,
+                models.append(
+                    make_mobility(
+                        mobility,
+                        world,
+                        streams.stream(f"mobility/{host_id}"),
+                        max_speed_kmh,
+                    )
                 )
+
+        # Kernel selection (see repro.kernel).  A custom mobility_factory
+        # forces the scalar path even under "vector": its models may share
+        # RNG state across hosts, which batched advancement would reorder.
+        # A capture model does too: capture breaks the single-clean-slot
+        # invariant the channel's array reception state relies on.
+        store = None
+        if (
+            resolve_kernel(kernel) == "vector"
+            and mobility_factory is None
+            and capture is None
+        ):
+            from repro.mobility.store import PositionStore
+
+            store = PositionStore(models, world, buffers=position_buffers)
+        #: The vector kernel's batched position arrays (``None`` on the
+        #: scalar path).
+        self.position_store = store
+        #: The kernel actually running: ``"scalar"`` or ``"vector"``.
+        self.kernel = "scalar" if store is None else "vector"
+
+        self.channel = Channel(
+            scheduler, params, self._position_of, drop_predicate,
+            capture=capture, max_speed_ms=speed_bound, trace=trace,
+            position_store=store,
+        )
+        self._seq = 0
+
+        for host_id in range(num_hosts):
             host = MobileHost(
                 host_id=host_id,
+                position_store=store,
                 scheduler=scheduler,
                 channel=self.channel,
                 params=params,
-                mobility=mobility_model,
+                mobility=models[host_id],
                 scheme=scheme_factory(),
                 metrics=metrics,
                 mac_rng=streams.stream(f"mac/{host_id}"),
@@ -119,6 +153,13 @@ class Network:
 
     def positions(self) -> Dict[int, Tuple[float, float]]:
         """Snapshot of all host positions at the current time."""
+        store = self.position_store
+        if store is not None:
+            xs, ys = store.arrays_at(self.scheduler._now)
+            return {
+                h.host_id: (float(xs[h.host_id]), float(ys[h.host_id]))
+                for h in self.hosts
+            }
         return {h.host_id: h.position() for h in self.hosts}
 
     def alive_ids(self) -> Set[int]:
@@ -127,6 +168,16 @@ class Network:
 
     def alive_positions(self) -> Dict[int, Tuple[float, float]]:
         """Positions of alive hosts only (crashed radios cannot relay)."""
+        store = self.position_store
+        if store is not None:
+            # One batched epoch instead of n single-host reads: the
+            # connectivity snapshot queries every host at one instant.
+            xs, ys = store.arrays_at(self.scheduler._now)
+            return {
+                h.host_id: (float(xs[h.host_id]), float(ys[h.host_id]))
+                for h in self.hosts
+                if h.alive
+            }
         return {h.host_id: h.position() for h in self.hosts if h.alive}
 
     def reachable_from(self, source_id: int) -> Set[int]:

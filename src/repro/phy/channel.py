@@ -61,12 +61,51 @@ exceeds half a cell.  Static networks (speed bound 0) never rebuild.
 Candidates are iterated in attach order -- the same order the full scan
 uses -- so stateful drop predicates (fault-injected loss processes) draw
 their RNG in an identical sequence either way.
+
+Vector kernel
+-------------
+With a :class:`repro.mobility.store.PositionStore` attached (see
+:mod:`repro.kernel`), the per-transmission receiver scan is a single numpy
+distance mask over the store's batched position arrays instead of a Python
+loop over grid candidates.  The mask yields hosts in id order; when attach
+order and id order have diverged (a host crashed and recovered), the
+matched set is re-sorted by attach order so receiver iteration -- and with
+it RNG draw order of stateful drop predicates, medium-busy edge order and
+delivery callback order -- is identical to the scalar scan.
+
+The vector path also replaces the per-host inbox dicts with flat arrays,
+justified by the *all-corrupted invariant* of the no-capture collision
+rule: any arrival into a non-empty inbox garbles everything in it, and
+receptions only leave an inbox by ending, so at every instant a receiver
+has **at most one clean reception** (the first frame into an idle inbox).
+An in-flight count plus a single clean-sender slot per receiver therefore
+carry the full reception state, and per-transmission bookkeeping becomes
+a handful of numpy fancy-index operations; corruption-flip counts (and so
+``collisions`` / ``deaf_misses``) are reproduced exactly.  Consequences:
+
+- the vector kernel refuses a capture model (capture lets a strong frame
+  survive an overlap, breaking the single-clean-slot invariant) -- the
+  builder falls back to the scalar kernel instead;
+- per-host rx airtime and MAC ``frames_corrupted`` tallies accumulate in
+  arrays and are folded into their scalar-form dicts/stats by
+  :meth:`Channel.finalize_vector_stats` (idempotent; called by
+  :meth:`repro.perf.KernelPerf.collect` at end of run);
+- a ``drop_predicate`` (stateful fault-injected loss) switches the scan
+  from whole-array operations to a per-receiver loop over the same
+  arrays, preserving the predicate's per-pair RNG call order;
+- tracing or a corrupted-frame-notify listener forces the per-reception
+  dispatch loop at frame end, keeping callback/record order identical.
 """
 
 from __future__ import annotations
 
 import itertools
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+try:  # The vector kernel needs numpy; the scalar kernel must not.
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always ships numpy
+    _np = None
 
 from repro.phy.capture import CaptureModel
 from repro.phy.params import PhyParams
@@ -104,7 +143,8 @@ class ChannelStats:
     __slots__ = (
         "transmissions", "deliveries", "collisions", "deaf_misses",
         "injected_drops", "aborted_frames", "truncated_receptions",
-        "grid_rebuilds", "tx_airtime", "rx_airtime",
+        "grid_rebuilds", "batch_scans", "vector_candidates",
+        "tx_airtime", "rx_airtime",
     )
 
     def __init__(self) -> None:
@@ -120,6 +160,12 @@ class ChannelStats:
         self.truncated_receptions = 0
         #: Spatial-grid neighbor index rebuilds (0 when the index is off).
         self.grid_rebuilds = 0
+        #: Vectorized receiver scans (0 on the scalar kernel).
+        self.batch_scans = 0
+        #: Total size of the vector distance masks (in-range hosts summed
+        #: over all batch scans) -- mean mask size = vector_candidates /
+        #: batch_scans.
+        self.vector_candidates = 0
         #: Per-host seconds spent transmitting / receiving energy.  A
         #: standard first-order energy proxy:
         #: radio energy ~ a*tx_airtime + b*rx_airtime.
@@ -172,7 +218,7 @@ _Reception = list
 class _Transmission:
     __slots__ = (
         "sender_id", "frame", "end_time", "receiver_ids", "position",
-        "end_event",
+        "end_event", "gens",
     )
 
     def __init__(
@@ -180,7 +226,7 @@ class _Transmission:
         sender_id: int,
         frame: Any,
         end_time: float,
-        receiver_ids: List[int],
+        receiver_ids: Any,  # List[int] (scalar) or int ndarray (vector)
         position: Tuple[float, float],
     ) -> None:
         self.sender_id = sender_id
@@ -189,6 +235,9 @@ class _Transmission:
         self.receiver_ids = receiver_ids
         self.position = position
         self.end_event: Any = None
+        #: Vector kernel: each receiver's detach generation at TX start
+        #: (ndarray parallel to receiver_ids); None on the scalar kernel.
+        self.gens: Any = None
 
 
 class Channel:
@@ -213,6 +262,7 @@ class Channel:
         capture: Optional["CaptureModel"] = None,
         max_speed_ms: Optional[float] = None,
         trace: Optional[Any] = None,
+        position_store: Optional[Any] = None,
     ) -> None:
         self._scheduler = scheduler
         self._params = params
@@ -246,6 +296,47 @@ class Channel:
         self._grid_cell_of: Dict[int, Tuple[int, int]] = {}
         self._grid_time = 0.0
         self.set_speed_bound(max_speed_ms)
+        # Vector kernel (see module docstring): a PositionStore switches
+        # the receiver scan to a numpy distance mask over host ids
+        # 0 .. store.size-1, and reception state to flat arrays.
+        # _vector_sorted tracks whether attach order still equals id
+        # order; any detach (crash) clears it and matched sets are
+        # re-sorted per scan from then on.
+        self._store = position_store
+        if position_store is not None:
+            if _np is None:  # pragma: no cover - store implies numpy
+                raise RuntimeError("position_store requires numpy")
+            if capture is not None:
+                raise ValueError(
+                    "the vector kernel does not support a capture model "
+                    "(see module docstring); build without position_store"
+                )
+            n = position_store.size
+            self._attached_mask = _np.zeros(n, dtype=bool)
+            # Array reception state: in-flight count + the id of the at
+            # most one clean reception's sender (-1 none) per receiver.
+            self._vec_inflight = _np.zeros(n, dtype=_np.int32)
+            self._vec_clean_sender = _np.full(n, -1, dtype=_np.int32)
+            self._vec_transmitting = _np.zeros(n, dtype=bool)
+            # Detach generation: receptions in flight across a receiver's
+            # detach (and possible re-attach) must vanish, exactly like
+            # the scalar kernel dropping its inbox.
+            self._vec_gen = _np.zeros(n, dtype=_np.int32)
+            self._vec_order = _np.zeros(n, dtype=_np.int64)
+            # Array-accumulated per-host tallies, folded into the scalar
+            # dict/stats form by finalize_vector_stats().
+            self._vec_corrupted = _np.zeros(n, dtype=_np.int64)
+            self._vec_corrupted_flushed = _np.zeros(n, dtype=_np.int64)
+            self._vec_rx_air = _np.zeros(n, dtype=_np.float64)
+            self._vec_rx_seen = _np.zeros(n, dtype=bool)
+            self._vec_rx_order: List[int] = []
+            self._vec_mac_stats: Dict[int, Any] = {}
+            # Any attached listener that wants per-frame corruption
+            # upcalls forces the ordered dispatch loop at frame end.
+            self._vec_any_notify = False
+        else:
+            self._attached_mask = None
+        self._vector_sorted = True
 
     @property
     def params(self) -> PhyParams:
@@ -355,9 +446,34 @@ class Channel:
         """Register a host's radio.  Host ids must be unique."""
         if host_id in self._listeners:
             raise ValueError(f"host {host_id} already attached")
+        mask = self._attached_mask
+        if mask is not None and not 0 <= host_id < len(mask):
+            raise ValueError(
+                f"host {host_id} outside the position store's id range "
+                f"0..{len(mask) - 1}"
+            )
         self._listeners[host_id] = listener
         self._incoming[host_id] = {}
-        self._attach_order[host_id] = next(self._attach_counter)
+        order = next(self._attach_counter)
+        self._attach_order[host_id] = order
+        if mask is not None:
+            mask[host_id] = True
+            self._vec_order[host_id] = order
+            self._vec_inflight[host_id] = 0
+            self._vec_clean_sender[host_id] = -1
+            self._vec_transmitting[host_id] = False
+            stats_obj = getattr(listener, "stats", None)
+            if (
+                stats_obj is not None
+                and getattr(listener, "_notify_corrupt", True) is False
+            ):
+                # MAC that swallows corruption upcalls: its counter can be
+                # bumped in bulk from the corruption array at flush time.
+                self._vec_mac_stats[host_id] = stats_obj
+            else:
+                self._vec_any_notify = True
+            if host_id != order:
+                self._vector_sorted = False
         # The new host's position may not be queryable yet (hosts attach
         # during construction), so invalidate instead of inserting.
         self._grid = None
@@ -375,6 +491,18 @@ class Channel:
         self._listeners.pop(host_id, None)
         self._incoming.pop(host_id, None)
         self._attach_order.pop(host_id, None)
+        mask = self._attached_mask
+        if mask is not None and 0 <= host_id < len(mask):
+            mask[host_id] = False
+            # Receptions in flight at this host vanish with it (the scalar
+            # kernel drops the inbox): bump the generation so their
+            # ending transmissions skip this receiver.
+            self._vec_gen[host_id] += 1
+            self._vec_inflight[host_id] = 0
+            self._vec_clean_sender[host_id] = -1
+            # A later re-attach gets a fresh (higher) order index, so
+            # attach order and id order have permanently diverged.
+            self._vector_sorted = False
         if self._grid is not None:
             key = self._grid_cell_of.pop(host_id, None)
             if key is not None:
@@ -407,6 +535,27 @@ class Channel:
             self._trace.records.append(
                 (now, "tx-abort", sender_id, kind, src, seq)
             )
+        if self._store is not None:
+            self._vec_transmitting[sender_id] = False
+            ids = tx.receiver_ids
+            if ids.size:
+                valid = self._attached_mask[ids]
+                valid &= self._vec_gen[ids] == tx.gens
+                vids = ids if valid.all() else ids[valid]
+                inflight = self._vec_inflight
+                inflight[vids] -= 1
+                self.stats.truncated_receptions += int(vids.size)
+                self._vec_rx_air[vids] -= remainder
+                clean_sender = self._vec_clean_sender
+                mine = vids[clean_sender[vids] == sender_id]
+                if mine.size:
+                    clean_sender[mine] = -1
+                idle = vids[inflight[vids] == 0]
+                for host_id in idle.tolist():
+                    listener = self._listeners.get(host_id)
+                    if listener is not None:
+                        listener.on_medium_state(False)
+            return True
         newly_idle: List[int] = []
         for host_id in tx.receiver_ids:
             inbox = self._incoming.get(host_id)
@@ -434,10 +583,43 @@ class Channel:
 
     def carrier_busy(self, host_id: int) -> bool:
         """Whether ``host_id`` senses energy (incoming or its own TX)."""
+        if self._store is not None:
+            return (
+                bool(self._vec_inflight[host_id]) or host_id in self._active
+            )
         return bool(self._incoming.get(host_id)) or host_id in self._active
+
+    def _vector_scan(self, cx: float, cy: float, xs, ys, exclude: int):
+        """Attached host ids within radio range of ``(cx, cy)`` (minus
+        ``exclude``) as one vectorized distance mask over the store arrays.
+
+        The mask yields id order; re-sorted by attach order when the two
+        have diverged (``_vector_sorted`` False) so receiver iteration
+        matches the scalar scan.
+        """
+        dx = xs - cx
+        dy = ys - cy
+        dsq = dx * dx
+        dsq += dy * dy
+        mask = dsq <= self._radio_radius_sq
+        mask &= self._attached_mask
+        if 0 <= exclude < mask.shape[0]:
+            mask[exclude] = False
+        ids = _np.nonzero(mask)[0]
+        if not self._vector_sorted and ids.size > 1:
+            ids = ids[_np.argsort(self._vec_order[ids], kind="stable")]
+        self.stats.batch_scans += 1
+        self.stats.vector_candidates += int(ids.size)
+        return ids
 
     def neighbors_in_range(self, host_id: int) -> List[int]:
         """Geometric oracle: attached hosts within radio range right now."""
+        store = self._store
+        if store is not None:
+            xs, ys = store.arrays_at(self._scheduler._now)
+            return self._vector_scan(
+                float(xs[host_id]), float(ys[host_id]), xs, ys, host_id
+            ).tolist()
         position_of = self._position_of
         pos_cache = self._positions_now()
         pos_cache_get = pos_cache.get
@@ -475,13 +657,20 @@ class Channel:
 
         scheduler = self._scheduler
         now = scheduler._now
-        position_of = self._position_of
-        pos_cache = self._positions_now()
-        pos_cache_get = pos_cache.get
-        sender_pos = pos_cache_get(sender_id)
-        if sender_pos is None:
-            sender_pos = pos_cache[sender_id] = position_of(sender_id)
-        sx, sy = sender_pos
+        store = self._store
+        if store is not None:
+            xs, ys = store.arrays_at(now)
+            sx = float(xs[sender_id])
+            sy = float(ys[sender_id])
+            sender_pos = (sx, sy)
+        else:
+            position_of = self._position_of
+            pos_cache = self._positions_now()
+            pos_cache_get = pos_cache.get
+            sender_pos = pos_cache_get(sender_id)
+            if sender_pos is None:
+                sender_pos = pos_cache[sender_id] = position_of(sender_id)
+            sx, sy = sender_pos
         rr = self._radio_radius_sq
         stats = self.stats
         stats.transmissions += 1
@@ -492,73 +681,153 @@ class Channel:
                 position=sender_pos,
             )
 
-        # Half-duplex: anything the sender was receiving is now garbled.
         # (deaf_misses / injected_drops / collisions accumulate in locals
-        # through the receiver loop; slot stores are hoisted out.)
+        # through the receiver scan; slot stores are hoisted out.)
         deaf_misses = 0
         collisions = 0
         injected_drops = 0
-        incoming = self._incoming
-        for reception in incoming[sender_id].values():
-            if not reception[_RX_CORRUPTED]:
-                reception[_RX_CORRUPTED] = True
-                deaf_misses += 1
-
-        receiver_ids: List[int] = []
-        tx = _Transmission(sender_id, frame, now + duration, receiver_ids, sender_pos)
         active = self._active
-        active[sender_id] = tx
-        newly_busy: List[int] = []
         drop_predicate = self._drop_predicate
-        capture = self._capture
-        rx_air = stats.rx_airtime
-        append_receiver = receiver_ids.append
+        newly_busy: List[int] = []
 
-        for host_id in self._candidate_ids(sender_pos):
-            if host_id == sender_id:
-                continue
-            pos = pos_cache_get(host_id)
-            if pos is None:
-                pos = pos_cache[host_id] = position_of(host_id)
-            hx, hy = pos
-            dx = sx - hx
-            dy = sy - hy
-            dist_sq = dx * dx + dy * dy
-            if dist_sq > rr:
-                continue
-            append_receiver(host_id)
-            try:
-                rx_air[host_id] += duration
-            except KeyError:
-                rx_air[host_id] = duration
-            corrupted = False
-            if host_id in active:
-                # Receiver is itself on the air: deaf to this frame.
-                corrupted = True
+        if store is not None:
+            inflight = self._vec_inflight
+            clean_sender = self._vec_clean_sender
+            transmitting = self._vec_transmitting
+            # Half-duplex: anything the sender was receiving is now
+            # garbled.  At most one clean reception can exist (module
+            # docstring), so the whole inbox sweep is one slot check.
+            if clean_sender[sender_id] >= 0:
+                clean_sender[sender_id] = -1
                 deaf_misses += 1
-            elif drop_predicate is not None and drop_predicate(
-                sender_id, host_id
-            ):
-                corrupted = True
-                injected_drops += 1
-            power = (
-                capture.power(dist_sq ** 0.5) if capture is not None else 1.0
+            ids = self._vector_scan(sx, sy, xs, ys, sender_id)
+            receiver_ids = ids
+            tx = _Transmission(
+                sender_id, frame, now + duration, ids, sender_pos
             )
-            inbox = incoming[host_id]
-            if inbox:
-                inbox[sender_id] = [frame, sender_id, corrupted, power]
-                if capture is None:
-                    # Inlined no-capture overlap rule: everything in the
-                    # overlap is garbled (no capture effect).
-                    for reception in inbox.values():
-                        if not reception[_RX_CORRUPTED]:
-                            reception[_RX_CORRUPTED] = True
-                            collisions += 1
+            tx.gens = self._vec_gen[ids]
+            active[sender_id] = tx
+            transmitting[sender_id] = True
+            if ids.size:
+                rx_seen = self._vec_rx_seen
+                new_first = ids[~rx_seen[ids]]
+                if new_first.size:
+                    # Track first-touch order so the flushed rx_airtime
+                    # dict sums in the scalar kernel's insertion order.
+                    rx_seen[new_first] = True
+                    self._vec_rx_order.extend(new_first.tolist())
+                self._vec_rx_air[ids] += duration
+                if drop_predicate is None:
+                    prev = inflight[ids]
+                    inflight[ids] = prev + 1
+                    deaf = transmitting[ids]
+                    deaf_misses += int(deaf.sum())
+                    fresh = prev == 0
+                    overlap_ids = ids[~fresh]
+                    if overlap_ids.size:
+                        # Overlap rule, batched: the (at most one) clean
+                        # reception already at each overlapped receiver
+                        # flips, and the new arrival lands corrupted --
+                        # one collision each, unless it was already deaf.
+                        old_clean = overlap_ids[
+                            clean_sender[overlap_ids] >= 0
+                        ]
+                        if old_clean.size:
+                            collisions += int(old_clean.size)
+                            clean_sender[old_clean] = -1
+                        collisions += int((~transmitting[overlap_ids]).sum())
+                    new_clean = ids[fresh & ~deaf]
+                    if new_clean.size:
+                        clean_sender[new_clean] = sender_id
+                    if fresh.any():
+                        newly_busy = ids[fresh].tolist()
                 else:
-                    self._resolve_overlap(inbox)
-            else:
-                inbox[sender_id] = [frame, sender_id, corrupted, power]
-                newly_busy.append(host_id)
+                    # Stateful drop predicates draw RNG per (sender,
+                    # receiver) pair: iterate receivers in attach order
+                    # over the same arrays the batched path updates.
+                    newly_busy_append = newly_busy.append
+                    for host_id in ids.tolist():
+                        corrupted = False
+                        if transmitting[host_id]:
+                            corrupted = True
+                            deaf_misses += 1
+                        elif drop_predicate(sender_id, host_id):
+                            corrupted = True
+                            injected_drops += 1
+                        count = inflight[host_id]
+                        inflight[host_id] = count + 1
+                        if count:
+                            if clean_sender[host_id] >= 0:
+                                clean_sender[host_id] = -1
+                                collisions += 1
+                            if not corrupted:
+                                collisions += 1
+                        else:
+                            newly_busy_append(host_id)
+                            if not corrupted:
+                                clean_sender[host_id] = sender_id
+        else:
+            # Half-duplex: anything the sender was receiving is now garbled.
+            incoming = self._incoming
+            for reception in incoming[sender_id].values():
+                if not reception[_RX_CORRUPTED]:
+                    reception[_RX_CORRUPTED] = True
+                    deaf_misses += 1
+
+            receiver_ids = []
+            tx = _Transmission(
+                sender_id, frame, now + duration, receiver_ids, sender_pos
+            )
+            active[sender_id] = tx
+            capture = self._capture
+            rx_air = stats.rx_airtime
+            append_receiver = receiver_ids.append
+            for host_id in self._candidate_ids(sender_pos):
+                if host_id == sender_id:
+                    continue
+                pos = pos_cache_get(host_id)
+                if pos is None:
+                    pos = pos_cache[host_id] = position_of(host_id)
+                hx, hy = pos
+                dx = sx - hx
+                dy = sy - hy
+                dist_sq = dx * dx + dy * dy
+                if dist_sq > rr:
+                    continue
+                append_receiver(host_id)
+                try:
+                    rx_air[host_id] += duration
+                except KeyError:
+                    rx_air[host_id] = duration
+                corrupted = False
+                if host_id in active:
+                    # Receiver is itself on the air: deaf to this frame.
+                    corrupted = True
+                    deaf_misses += 1
+                elif drop_predicate is not None and drop_predicate(
+                    sender_id, host_id
+                ):
+                    corrupted = True
+                    injected_drops += 1
+                power = (
+                    capture.power(dist_sq ** 0.5) if capture is not None
+                    else 1.0
+                )
+                inbox = incoming[host_id]
+                if inbox:
+                    inbox[sender_id] = [frame, sender_id, corrupted, power]
+                    if capture is None:
+                        # Inlined no-capture overlap rule: everything in
+                        # the overlap is garbled (no capture effect).
+                        for reception in inbox.values():
+                            if not reception[_RX_CORRUPTED]:
+                                reception[_RX_CORRUPTED] = True
+                                collisions += 1
+                    else:
+                        self._resolve_overlap(inbox)
+                else:
+                    inbox[sender_id] = [frame, sender_id, corrupted, power]
+                    newly_busy.append(host_id)
 
         if deaf_misses:
             stats.deaf_misses += deaf_misses
@@ -613,6 +882,9 @@ class Channel:
         tx = self._active.pop(sender_id, None)
         if tx is None:  # aborted mid-frame (the end event should have been
             return      # cancelled; this guard makes the race harmless)
+        if self._store is not None:
+            self._end_transmission_vector(sender_id, tx)
+            return
         completed: List[list] = []
         newly_idle: List[int] = []
         incoming = self._incoming
@@ -675,3 +947,118 @@ class Channel:
                 listener.on_frame_received(reception[_RX_FRAME], sender_id)
         if deliveries:
             self.stats.deliveries += deliveries
+
+    def _end_transmission_vector(self, sender_id: int, tx: _Transmission) -> None:
+        """Array-state frame end (see module docstring).
+
+        Mirrors the scalar :meth:`_end_transmission` exactly: idle edges
+        fire first in receiver order, then reception outcomes dispatch in
+        receiver order.  Receivers that detached (or detached and
+        re-attached) mid-frame are skipped via the generation snapshot,
+        like the scalar kernel's vanished-inbox pop.
+        """
+        self._vec_transmitting[sender_id] = False
+        ids = tx.receiver_ids
+        listeners_get = self._listeners.get
+        clean_sender = self._vec_clean_sender
+        if ids.size:
+            valid = self._attached_mask[ids]
+            valid &= self._vec_gen[ids] == tx.gens
+            vids = ids if valid.all() else ids[valid]
+            inflight = self._vec_inflight
+            inflight[vids] -= 1
+            idle = vids[inflight[vids] == 0]
+            for host_id in idle.tolist():
+                listener = listeners_get(host_id)
+                if listener is not None:
+                    listener.on_medium_state(False)
+        else:
+            vids = ids
+        clean = clean_sender[vids] == sender_id
+        delivered = vids[clean]
+        if delivered.size:
+            clean_sender[delivered] = -1
+        frame = tx.frame
+        tracing = self._tracing
+        trace = self._trace
+        deliveries = 0
+        if tracing or trace is not None or self._vec_any_notify:
+            # Ordered per-reception dispatch: corruption upcalls and trace
+            # records interleave with deliveries in receiver order, byte
+            # for byte like the scalar loop.
+            if trace is not None:
+                kind, src, seq, _hops = frame_ident(frame)
+                trace_records = trace.records
+                now = self._scheduler._now
+            clean_list = clean.tolist()
+            for index, host_id in enumerate(vids.tolist()):
+                listener = listeners_get(host_id)
+                if listener is None:
+                    continue
+                if clean_list[index]:
+                    deliveries += 1
+                    if tracing:
+                        self._tracer.emit(
+                            self._scheduler.now, "rx",
+                            sender=sender_id, receiver=host_id,
+                        )
+                    if trace is not None:
+                        trace_records.append(
+                            (now, "rx", sender_id, host_id, kind, src, seq)
+                        )
+                    listener.on_frame_received(frame, sender_id)
+                else:
+                    if tracing:
+                        self._tracer.emit(
+                            self._scheduler.now, "rx-corrupted",
+                            sender=sender_id, receiver=host_id,
+                        )
+                    if trace is not None:
+                        trace_records.append(
+                            (now, "rx-corrupt", sender_id, host_id, kind,
+                             src, seq)
+                        )
+                    listener.on_frame_corrupted(frame, sender_id)
+        else:
+            corrupted_ids = vids[~clean]
+            if corrupted_ids.size:
+                # Every attached listener swallows corruption upcalls
+                # (MAC stat bump only) -- accumulate the bumps in the
+                # array; finalize_vector_stats() folds them into MacStats.
+                self._vec_corrupted[corrupted_ids] += 1
+            deliveries = int(delivered.size)
+            for host_id in delivered.tolist():
+                listener = listeners_get(host_id)
+                if listener is not None:
+                    listener.on_frame_received(frame, sender_id)
+        if deliveries:
+            self.stats.deliveries += deliveries
+
+    def finalize_vector_stats(self) -> None:
+        """Fold the vector kernel's array-accumulated per-host tallies
+        into the dict/stats form the scalar kernel maintains inline.
+
+        Idempotent and safe to call mid-run: the arrays stay the source
+        of truth -- the rx-airtime dict is rebuilt (in first-touch order,
+        matching the scalar kernel's insertion order and therefore its
+        float summation order), and MAC ``frames_corrupted`` bumps are
+        delta-flushed.  No-op on the scalar kernel.  Called by
+        :meth:`repro.perf.KernelPerf.collect` at end of run.
+        """
+        if self._store is None:
+            return
+        rx_vec = self._vec_rx_air
+        rx_air = self.stats.rx_airtime
+        rx_air.clear()
+        for host_id in self._vec_rx_order:
+            rx_air[host_id] = float(rx_vec[host_id])
+        corrupted = self._vec_corrupted
+        flushed = self._vec_corrupted_flushed
+        pending = corrupted - flushed
+        if pending.any():
+            mac_stats = self._vec_mac_stats
+            for host_id in _np.nonzero(pending)[0].tolist():
+                stats_obj = mac_stats.get(host_id)
+                if stats_obj is not None:
+                    stats_obj.frames_corrupted += int(pending[host_id])
+            flushed[:] = corrupted

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry.points import distance
-from repro.mobility.map import RectMap
+from repro.mobility.map import RectMap, _fold
 from repro.mobility.models import (
     RandomDirectionMobility,
     RandomWaypointMobility,
@@ -71,3 +71,61 @@ def test_random_waypoint_never_leaves_map(seed, pause, times):
 def test_reflect_always_lands_inside(x, y, width, height):
     world = RectMap(width, height)
     assert world.contains(world.reflect((x, y)))
+
+
+# ------------------------------------------- fast path vs slow path
+#
+# ``reflect`` skips the fold for in-map points, and ``position`` inlines
+# the segment arithmetic when the query lands inside the current segment.
+# Both shortcuts must agree with the unconditional slow path -- within
+# 1e-12, though in practice they are bit-identical (the vector kernel's
+# PositionStore leans on exactly this equivalence).
+
+
+@settings(max_examples=50)
+@given(
+    x=st.floats(0.0, 1e4),
+    y=st.floats(0.0, 1e4),
+    width=st.floats(1.0, 1e4),
+    height=st.floats(1.0, 1e4),
+)
+def test_reflect_fast_path_matches_unconditional_fold(x, y, width, height):
+    world = RectMap(width, height)
+    rx, ry = world.reflect((x, y))
+    fx, fy = _fold(x, width), _fold(y, height)
+    assert abs(rx - fx) <= 1e-12
+    assert abs(ry - fy) <= 1e-12
+    if world.contains((x, y)):
+        # In-map points take the identity shortcut; the fold must agree
+        # exactly, or the shortcut would not be bit-safe to skip.
+        assert (rx, ry) == (fx, fy) == (x, y)
+
+
+@settings(max_examples=25)
+@given(
+    seed=st.integers(0, 10_000),
+    speed=st.floats(1.0, 300.0),
+    steps=st.lists(st.floats(0.0, 10.0), min_size=5, max_size=40),
+    waypoint=st.booleans(),
+)
+def test_segmented_fast_path_matches_raw_position(seed, speed, steps, waypoint):
+    """``position`` (memoized in-segment fast path) vs ``_roll_to`` +
+    ``_raw_position`` (the slow path) on twin identically-seeded models,
+    over a randomized monotone trajectory."""
+    world = RectMap(900.0, 700.0)
+    if waypoint:
+        fast = RandomWaypointMobility(world, random.Random(seed), speed)
+        slow = RandomWaypointMobility(world, random.Random(seed), speed)
+    else:
+        fast = RandomDirectionMobility(world, random.Random(seed), speed)
+        slow = RandomDirectionMobility(world, random.Random(seed), speed)
+    t = 0.0
+    for step in steps:
+        t += step
+        fx, fy = fast.position(t)
+        slow._roll_to(t)
+        sx, sy = slow._raw_position(t)
+        assert abs(fx - sx) <= 1e-12 and abs(fy - sy) <= 1e-12
+        # The shortcut is in fact bit-exact, which is the stronger
+        # contract the golden determinism suite depends on.
+        assert (fx, fy) == (sx, sy)
