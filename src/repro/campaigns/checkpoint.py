@@ -27,6 +27,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, TextIO, Union
 
+from repro.telemetry.registry import registry as telemetry_registry
+
 __all__ = [
     "CHECKPOINT_VERSION",
     "CheckpointRecord",
@@ -88,12 +90,24 @@ class CheckpointWriter:
 
     def append(self, record: CheckpointRecord) -> None:
         self._handle().write(record.to_json() + "\n")
+        reg = telemetry_registry()
+        if reg is not None:
+            reg.counter(
+                "repro_checkpoint_appends_total",
+                "Run records appended to campaign checkpoints.",
+            ).inc()
 
     def flush(self) -> None:
         if self._fh is None:
             return
         self._fh.flush()
         os.fsync(self._fh.fileno())
+        reg = telemetry_registry()
+        if reg is not None:
+            reg.counter(
+                "repro_checkpoint_flushes_total",
+                "Durability points: checkpoint flush+fsync calls.",
+            ).inc()
 
     def close(self) -> None:
         if self._fh is not None:

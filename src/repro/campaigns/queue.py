@@ -28,6 +28,7 @@ byte-identical file to an uninterrupted one.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -47,6 +48,8 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.replication import MetricEstimate, aggregate
 from repro.experiments.runner import SimulationResult
+from repro.telemetry.registry import registry as telemetry_registry
+from repro.telemetry.resources import ResourceProfile
 
 __all__ = [
     "CampaignExecutor",
@@ -59,6 +62,10 @@ __all__ = [
 MANIFEST_NAME = "manifest.json"
 PROGRESS_NAME = "progress.jsonl"
 RESULTS_NAME = "results.json"
+
+#: Chunk latency buckets (seconds): chunks batch many runs, so they run
+#: well past the default per-request duration buckets.
+CHUNK_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
 
 
 class CampaignMismatch(RuntimeError):
@@ -100,6 +107,7 @@ def _estimate_to_dict(est: Optional[MetricEstimate]) -> Optional[Dict[str, Any]]
 def campaign_results_payload(
     plan: CampaignPlan,
     results: List[Optional[SimulationResult]],
+    include_resources: bool = False,
 ) -> Dict[str, Any]:
     """The campaign's deterministic result document.
 
@@ -108,6 +116,12 @@ def campaign_results_payload(
     so an interrupted+resumed campaign serializes byte-identically to an
     uninterrupted one.  Runs that never finished are listed under
     ``"missing"`` rather than silently dropped.
+
+    ``include_resources=True`` (the ``campaign run --resources`` flag)
+    adds an aggregate ``"resources"`` block (peak RSS across runs, summed
+    GC/wall/subsystem time).  It is **opt-in precisely because** those
+    quantities are wall-clock noise: enabling it forfeits the
+    byte-identity guarantee above, which the resume tests pin.
     """
     runs = []
     missing = []
@@ -159,7 +173,7 @@ def campaign_results_payload(
             "latency": _estimate_to_dict(agg.latency),
         })
 
-    return {
+    payload: Dict[str, Any] = {
         "campaign_id": plan.campaign_id,
         "name": plan.spec.name,
         "spec_digest": plan.spec.digest(),
@@ -169,6 +183,18 @@ def campaign_results_payload(
         "runs": runs,
         "summary": summary,
     }
+    if include_resources:
+        total = ResourceProfile()
+        sampled = 0
+        for result in results:
+            # getattr: results unpickled from a pre-resources cache lack
+            # the field entirely.
+            profile = getattr(result, "resources", None) if result else None
+            if profile is not None:
+                total.merge(profile)
+                sampled += 1
+        payload["resources"] = dict(total.as_dict(), runs_sampled=sampled)
+    return payload
 
 
 def campaign_status(directory: Union[str, Path]) -> Dict[str, Any]:
@@ -211,9 +237,11 @@ class CampaignExecutor:
         cache_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
         runner: Optional[ParallelRunner] = None,
+        include_resources: bool = False,
     ) -> None:
         self.plan = plan
         self.directory = Path(directory)
+        self.include_resources = include_resources
         if runner is not None:
             self.runner = runner
         else:
@@ -235,6 +263,13 @@ class CampaignExecutor:
         )
 
     # ----------------------------------------------------------- helpers
+
+    @staticmethod
+    def _set_queue_depth(reg, remaining: int) -> None:
+        reg.gauge(
+            "repro_campaign_queue_depth",
+            "Planned runs not yet checkpointed in the current campaign.",
+        ).set(remaining)
 
     def _manifest(self, status: str, completed: int) -> Dict[str, Any]:
         plan = self.plan
@@ -307,12 +342,23 @@ class CampaignExecutor:
             manifest_path, self._manifest("running", len(recorded))
         )
 
+        reg = telemetry_registry()
+        if reg is not None:
+            if recorded:
+                reg.counter(
+                    "repro_campaign_resumes_total",
+                    "Campaign sessions that picked up an existing "
+                    "checkpoint rather than starting fresh.",
+                ).inc()
+            self._set_queue_depth(reg, plan.total - len(recorded))
+
         results: List[Optional[SimulationResult]] = [None] * plan.total
         interrupted = False
         with CheckpointWriter(self.directory / PROGRESS_NAME) as ckpt:
             try:
                 for lo in range(0, plan.total, self.checkpoint_every):
                     chunk = plan.runs[lo:lo + self.checkpoint_every]
+                    chunk_start = time.perf_counter()
                     try:
                         chunk_results = self.runner.run_many(
                             [r.config for r in chunk]
@@ -320,6 +366,12 @@ class CampaignExecutor:
                     except ExecutionInterrupted as exc:
                         chunk_results = exc.results
                         interrupted = True
+                    if reg is not None:
+                        reg.histogram(
+                            "repro_campaign_chunk_seconds",
+                            "Wall time per checkpoint chunk.",
+                            buckets=CHUNK_BUCKETS,
+                        ).observe(time.perf_counter() - chunk_start)
                     for planned, result in zip(chunk, chunk_results):
                         if result is None:
                             continue
@@ -334,6 +386,8 @@ class CampaignExecutor:
                     done = sum(
                         1 for r in recorded.values() if r.status == "done"
                     )
+                    if reg is not None:
+                        self._set_queue_depth(reg, plan.total - done)
                     write_manifest(
                         manifest_path,
                         self._manifest(
@@ -370,7 +424,9 @@ class CampaignExecutor:
         from repro.experiments.io import save_json
 
         save_json(
-            campaign_results_payload(plan, results),
+            campaign_results_payload(
+                plan, results, include_resources=self.include_resources
+            ),
             self.directory / RESULTS_NAME,
         )
         write_manifest(manifest_path, self._manifest("complete", plan.total))

@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -46,6 +47,8 @@ from repro.campaigns.queue import (
 )
 from repro.experiments.io import result_to_dict, scenario_from_dict
 from repro.experiments.parallel import ParallelRunner, config_digest
+from repro.telemetry.expose import CONTENT_TYPE, render_prometheus
+from repro.telemetry.registry import arm as arm_telemetry
 
 __all__ = ["CampaignService", "ServiceHandle", "serve_in_background"]
 
@@ -69,6 +72,7 @@ class CampaignService:
         host: str = "127.0.0.1",
         port: int = 8642,
         poll_interval: float = 0.25,
+        sse_heartbeat: float = 15.0,
     ) -> None:
         self.runner = ParallelRunner(max_workers=max_workers, cache_dir=cache_dir)
         assert self.runner.cache is not None
@@ -77,6 +81,13 @@ class CampaignService:
         self.host = host
         self.port = port
         self.poll_interval = poll_interval
+        if sse_heartbeat <= 0:
+            raise ValueError(f"sse_heartbeat must be > 0, got {sse_heartbeat}")
+        self.sse_heartbeat = sse_heartbeat
+        # The service is the natural telemetry host: a long-lived process
+        # with a scrape endpoint.  arm() is idempotent, so an embedding
+        # test that armed its own registry keeps it.
+        self.telemetry = arm_telemetry()
         # Created in start(): on Python < 3.10 a Queue binds to the event
         # loop current at construction, which here would be the wrong one.
         self._queue: Optional["asyncio.Queue[Tuple[str, Any]]"] = None
@@ -160,8 +171,8 @@ class CampaignService:
             return 200, {
                 "service": "repro-manet campaign service",
                 "endpoints": [
-                    "/healthz", "/stats", "/results/<digest>", "/runs",
-                    "/runs/<digest>", "/campaigns",
+                    "/healthz", "/stats", "/metrics", "/results/<digest>",
+                    "/runs", "/runs/<digest>", "/campaigns",
                     "/campaigns/<id>/status", "/campaigns/<id>/results",
                     "/campaigns/<id>/events",
                 ],
@@ -169,6 +180,12 @@ class CampaignService:
         head = parts[0]
         if head == "healthz" and method == "GET":
             return 200, {"ok": True}
+        if head == "metrics" and method == "GET":
+            self._write_text(
+                writer, 200, render_prometheus(self.telemetry), CONTENT_TYPE
+            )
+            await writer.drain()
+            return None
         if head == "stats" and method == "GET":
             return 200, {
                 "perf": self.runner.perf.as_dict(),
@@ -280,7 +297,29 @@ class CampaignService:
     async def _stream_events(
         self, writer: asyncio.StreamWriter, directory: Path
     ) -> None:
-        """Server-sent events: replay the checkpoint, then tail it live."""
+        """Server-sent events: replay the checkpoint, then tail it live.
+
+        While the campaign is quiet (no new checkpoint lines) the stream
+        emits an SSE comment frame (``: heartbeat``) every
+        ``sse_heartbeat`` seconds -- comments are invisible to SSE
+        consumers by spec, but they keep idle-connection proxies and
+        LB timeouts from reaping a stream that is merely waiting.
+        """
+        self._sse_gauge().inc()
+        try:
+            await self._stream_events_inner(writer, directory)
+        finally:
+            self._sse_gauge().dec()
+
+    def _sse_gauge(self):
+        return self.telemetry.gauge(
+            "repro_sse_subscribers",
+            "Currently connected /events SSE subscribers.",
+        )
+
+    async def _stream_events_inner(
+        self, writer: asyncio.StreamWriter, directory: Path
+    ) -> None:
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"
@@ -289,6 +328,7 @@ class CampaignService:
         )
         progress_path = directory / PROGRESS_NAME
         sent = 0
+        last_write = time.monotonic()
         while True:
             try:
                 lines = progress_path.read_text(
@@ -299,6 +339,8 @@ class CampaignService:
             for line in lines[sent:]:
                 if line.strip():
                     writer.write(b"data: " + line.encode("utf-8") + b"\r\n\r\n")
+            if sent != len(lines):
+                last_write = time.monotonic()
             sent = len(lines)
             manifest = load_manifest(directory / MANIFEST_NAME) or {}
             status = manifest.get("status")
@@ -314,6 +356,9 @@ class CampaignService:
                 )
                 await writer.drain()
                 return
+            if time.monotonic() - last_write >= self.sse_heartbeat:
+                writer.write(b": heartbeat\r\n\r\n")
+                last_write = time.monotonic()
             try:
                 await writer.drain()
             except ConnectionError:
@@ -331,12 +376,18 @@ class CampaignService:
                 return
             method, path, body = request
             parts = [p for p in path.split("?", 1)[0].split("/") if p]
+            started = time.perf_counter()
             try:
                 response = await self._route(method, parts, body, writer)
             except ConnectionError:
+                self._note_request(method, parts, 0, started)
                 return
             except Exception as exc:  # a route bug must not kill the server
                 response = (500, {"error": f"{type(exc).__name__}: {exc}"})
+            # None = the route streamed its own response (SSE, /metrics).
+            self._note_request(
+                method, parts, response[0] if response else 200, started
+            )
             if response is not None:
                 self._write_json(writer, response[0], response[1])
                 await writer.drain()
@@ -379,6 +430,64 @@ class CampaignService:
             if content_length else b""
         )
         return method.upper(), path, body
+
+    @staticmethod
+    def _endpoint_label(parts: List[str]) -> str:
+        """The route *template* for one request path.
+
+        Metrics label on templates, never raw paths: ``/results/<digest>``
+        is one series, not one per digest (unbounded label cardinality is
+        the classic way to blow up a metrics backend).
+        """
+        if not parts:
+            return "/"
+        head = parts[0]
+        if head in ("healthz", "stats", "metrics") and len(parts) == 1:
+            return f"/{head}"
+        if head == "results" and len(parts) == 2:
+            return "/results/<digest>"
+        if head == "runs":
+            return "/runs" if len(parts) == 1 else "/runs/<digest>"
+        if head == "campaigns":
+            if len(parts) == 1:
+                return "/campaigns"
+            if len(parts) == 3 and parts[2] in ("status", "results", "events"):
+                return f"/campaigns/<id>/{parts[2]}"
+            return "/campaigns/<id>/..."
+        return "<other>"
+
+    def _note_request(
+        self, method: str, parts: List[str], code: int, started: float
+    ) -> None:
+        endpoint = self._endpoint_label(parts)
+        self.telemetry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route template / method / status "
+            "(status 0 = client hung up mid-response).",
+            ("endpoint", "method", "code"),
+        ).labels(endpoint, method, str(code)).inc()
+        self.telemetry.histogram(
+            "repro_http_request_seconds",
+            "Request handling time by route template (for SSE streams "
+            "this is the full stream lifetime).",
+            ("endpoint",),
+        ).labels(endpoint).observe(time.perf_counter() - started)
+
+    @staticmethod
+    def _write_text(
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str,
+    ) -> None:
+        body = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
 
     @staticmethod
     def _write_json(

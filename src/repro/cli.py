@@ -10,6 +10,8 @@ Subcommands::
     repro-manet campaign run sweep.toml --dir campaigns/ --jobs 4
     repro-manet serve --port 8642 --cache-dir .repro-cache
     repro-manet cache stats --cache-dir .repro-cache
+    repro-manet bench record BENCH_kernel.json --history bench_history.jsonl
+    repro-manet bench check --history bench_history.jsonl --threshold 0.2
 
 ``run`` executes a single scenario and prints its summary line; ``figure``
 regenerates one of the paper's figures (fig01, fig02, fig05a-d, fig07,
@@ -24,7 +26,10 @@ and ``--cache-dir DIR`` to reuse finished runs across invocations;
 resumable, checkpointed campaign (SIGTERM/Ctrl-C mid-flight exits with
 code 3 and ``campaign run`` later resumes without re-simulating);
 ``serve`` starts the async HTTP result service; ``cache`` inspects,
-prunes or clears the shared on-disk result cache.
+prunes or clears the shared on-disk result cache; ``bench record|check``
+turns ``BENCH_*.json`` documents into a ``bench_history.jsonl``
+trajectory and gates CI on throughput regressions against its rolling
+baseline (see :mod:`repro.telemetry.bench`).
 """
 
 from __future__ import annotations
@@ -186,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "every N runs (default: 2x jobs, min 4)")
     crun_p.add_argument("--quiet", action="store_true",
                         help="no per-run progress lines")
+    crun_p.add_argument("--resources", action="store_true",
+                        help="add an aggregate resource profile (peak RSS, "
+                        "GC, subsystem wall estimate) to results.json; "
+                        "opt-in because it makes the file depend on the "
+                        "host machine, forfeiting resume byte-identity")
 
     cstat_p = camp_sub.add_parser(
         "status", help="print a campaign directory's progress"
@@ -224,6 +234,40 @@ def build_parser() -> argparse.ArgumentParser:
                            "least recently used entries go first")
             p.add_argument("--max-age", metavar="AGE", default=None,
                            help="drop entries unused for AGE (e.g. 36h, 7d)")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="track BENCH_*.json measurements over time and gate regressions",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    brec_p = bench_sub.add_parser(
+        "record", help="append a BENCH_*.json snapshot to the history"
+    )
+    brec_p.add_argument("bench", metavar="BENCH_JSON",
+                        help="benchmark document (e.g. BENCH_kernel.json)")
+    brec_p.add_argument("--history", metavar="PATH",
+                        default="bench_history.jsonl",
+                        help="history file to append to "
+                        "(default: bench_history.jsonl)")
+    brec_p.add_argument("--name", default=None,
+                        help="bench name for the entry "
+                        "(default: inferred from the filename)")
+    bchk_p = bench_sub.add_parser(
+        "check",
+        help="diff the newest history entry against its rolling baseline; "
+        "exits 1 when a gated metric regressed",
+    )
+    bchk_p.add_argument("--history", metavar="PATH",
+                        default="bench_history.jsonl")
+    bchk_p.add_argument("--name", default=None,
+                        help="only consider entries for this bench name")
+    bchk_p.add_argument("--threshold", type=float, default=0.2,
+                        metavar="FRAC",
+                        help="regression threshold as a fraction below the "
+                        "baseline (default 0.2 = 20%%)")
+    bchk_p.add_argument("--window", type=int, default=5, metavar="N",
+                        help="rolling baseline = median of the previous N "
+                        "entries (default 5)")
     return parser
 
 
@@ -627,6 +671,7 @@ def _campaign_run_cmd(args: argparse.Namespace) -> int:
         max_workers=None if args.jobs == 0 else args.jobs,
         cache_dir=args.cache_dir,
         checkpoint_every=args.checkpoint_every,
+        include_resources=args.resources,
     )
 
     def _to_interrupt(signum, frame):  # SIGTERM resumes as cleanly as ^C
@@ -715,6 +760,55 @@ def _serve_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_hit_rate() -> None:
+    """Process-lifetime cache hit rate from the telemetry counters.
+
+    Meaningful when ``cache stats`` runs inside a process that has been
+    serving lookups (the HTTP service, a long notebook session); a fresh
+    CLI process has no lookups -- or disarmed telemetry -- and says so.
+    """
+    from repro.telemetry import counter_value, registry
+
+    hits = counter_value("repro_cache_lookups_total", outcome="hit")
+    misses = counter_value("repro_cache_lookups_total", outcome="miss")
+    lookups = hits + misses
+    if registry() is None or not lookups:
+        print(f"{'hit rate':<12} n/a (no lookups this process)")
+        return
+    print(
+        f"{'hit rate':<12} {hits / lookups:.1%} "
+        f"({int(hits)}/{int(lookups)} lookups since process start)"
+    )
+
+
+def _bench_cmd(args: argparse.Namespace) -> int:
+    from repro.telemetry import bench
+
+    if args.bench_command == "record":
+        try:
+            entry = bench.record_entry(
+                args.bench, args.history, name=args.name
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
+        print(
+            f"recorded {entry['bench']!r}: {len(entry['metrics'])} metrics "
+            f"-> {args.history}"
+        )
+        return 0
+    try:
+        report = bench.check_history(
+            args.history,
+            name=args.name,
+            threshold=args.threshold,
+            window=args.window,
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cache_cmd(args: argparse.Namespace) -> int:
     from repro.experiments.parallel import ResultCache
 
@@ -727,6 +821,7 @@ def _cache_cmd(args: argparse.Namespace) -> int:
         if stats.entries:
             print(f"{'oldest use':<12} {stats.oldest_age:.0f}s ago")
             print(f"{'newest use':<12} {stats.newest_age:.0f}s ago")
+        _print_cache_hit_rate()
         return 0
     if args.cache_command == "clear":
         print(f"removed {cache.clear()} entries")
@@ -765,6 +860,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _serve_cmd(args)
     if args.command == "cache":
         return _cache_cmd(args)
+    if args.command == "bench":
+        return _bench_cmd(args)
     return _run_figure(args)
 
 

@@ -31,6 +31,7 @@ from repro.metrics.collector import (
 )
 from repro.net.host import HelloConfig
 from repro.perf import KernelPerf
+from repro.telemetry.resources import ResourceProfile
 from repro.phy.channel import ChannelStats
 from repro.phy.params import PhyParams
 
@@ -126,6 +127,13 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
             # e.g. old cache entries).
             "kernel": result.perf.as_dict() if result.perf else None,
         },
+        # getattr: results unpickled from a pre-resources cache lack the
+        # attribute entirely (pickle restores only the fields it saved).
+        "resources": (
+            result.resources.as_dict()
+            if getattr(result, "resources", None) is not None
+            else None
+        ),
     }
 
 
@@ -196,6 +204,13 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
         for name in KernelPerf.__slots__:
             setattr(perf, name, kernel.get(name, 0))
 
+    resources_block = data.get("resources")
+    resources = (
+        ResourceProfile.from_dict(resources_block)
+        if resources_block is not None
+        else None
+    )
+
     return SimulationResult(
         config=config,
         metrics=MetricsCollector(),
@@ -212,6 +227,7 @@ def result_from_dict(data: Dict[str, Any]) -> SimulationResult:
         wall_time=perf_block.get("wall_time", 0.0),
         from_cache=perf_block.get("from_cache", False),
         perf=perf,
+        resources=resources,
     )
 
 

@@ -24,6 +24,7 @@ from repro.phy.channel import ChannelStats
 from repro.schemes import make_scheme
 from repro.sim.engine import Scheduler
 from repro.sim.randomness import RandomStreams
+from repro.telemetry.resources import ResourceMonitor, ResourceProfile
 
 __all__ = [
     "SimulationResult",
@@ -61,6 +62,11 @@ class SimulationResult:
     #: value equality (the counters themselves are deterministic, but a
     #: cached result may predate the field).
     perf: Optional[KernelPerf] = field(default=None, compare=False)
+    #: What the run cost the process (peak RSS, GC pressure, subsystem
+    #: wall estimate; see :class:`repro.telemetry.resources.
+    #: ResourceProfile`).  Host-machine noise: excluded from equality,
+    #: and ``None`` on results unpickled from a pre-resources cache.
+    resources: Optional["ResourceProfile"] = field(default=None, compare=False)
 
     @property
     def events_per_sec(self) -> float:
@@ -139,6 +145,7 @@ def run_broadcast_simulation(
     to populate.
     """
     wall_start = time.perf_counter()
+    monitor = ResourceMonitor().start()
     scheduler = Scheduler()
     streams = RandomStreams(config.seed)
     metrics = MetricsCollector(store_reachable_sets=config.store_reachable_sets)
@@ -220,10 +227,13 @@ def run_broadcast_simulation(
 
     scheduler.run(until=end_time)
 
+    stats = metrics.summarize(end_time)
+    perf = KernelPerf.collect(scheduler, network)
+    wall_time = time.perf_counter() - wall_start
     return SimulationResult(
         config=config,
         metrics=metrics,
-        stats=metrics.summarize(end_time),
+        stats=stats,
         channel_stats=network.channel.stats,
         end_time=end_time,
         events_processed=scheduler.events_processed,
@@ -232,8 +242,9 @@ def run_broadcast_simulation(
         ),
         fault_trace=list(injector.trace) if injector is not None else [],
         broadcasts_skipped=metrics.broadcasts_skipped,
-        wall_time=time.perf_counter() - wall_start,
-        perf=KernelPerf.collect(scheduler, network),
+        wall_time=wall_time,
+        perf=perf,
+        resources=monitor.finish(wall_time, perf),
     )
 
 

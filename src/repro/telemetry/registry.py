@@ -1,0 +1,471 @@
+"""Operational metrics registry: counters, gauges, histograms with labels.
+
+This is the *operational* half of the observability story.  The
+simulation-science half already exists -- :class:`repro.perf.KernelPerf`
+snapshots what one run's kernel did, :mod:`repro.trace` records why each
+packet was or was not rebroadcast.  What neither answers is "how is the
+*process* doing": how many runs the parallel runner has served, what the
+cache hit rate has been since start, how deep the campaign queue is, how
+long HTTP requests take.  Those are live, label-sliced, scrape-on-demand
+quantities, which is exactly what a Prometheus-style registry models.
+
+Dependency-free by design (stdlib ``threading`` only) and **zero-cost
+when unarmed**, following the tracing subsystem's ``trace is not None``
+guard pattern: the process-wide registry is ``None`` until :func:`arm`
+is called, and every instrumentation site is written as::
+
+    reg = telemetry.registry()
+    if reg is not None:
+        reg.counter("repro_runner_runs_started_total").inc()
+
+so a disarmed process pays one global read and one ``is None`` test per
+site -- nothing allocates, nothing locks.
+
+Model
+-----
+A registry holds **families** (one per metric name); a family holds one
+**child** per label-value combination (or a single anonymous child when
+it has no labels).  Families are typed:
+
+- :class:`Counter` -- monotonically increasing ``inc(amount)``.
+- :class:`Gauge` -- ``set``/``inc``/``dec``, any float.
+- :class:`Histogram` -- ``observe(value)`` into configurable buckets,
+  exposed cumulatively with the conventional ``+Inf`` catch-all plus
+  ``_sum``/``_count``.
+
+All mutation and collection goes through one registry-wide lock, so a
+scrape racing an update always sees a consistent snapshot.  Metric and
+label names are validated against the Prometheus data-model grammar at
+family-creation time; label *values* may be any string (exposition
+escapes them).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Sample",
+    "arm",
+    "disarm",
+    "registry",
+    "counter_value",
+]
+
+#: Prometheus' default duration buckets (seconds) -- a sensible span for
+#: both per-run simulation wall times and HTTP request latencies.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_RESERVED_LABELS = frozenset({"le", "quantile"})
+
+
+class Sample:
+    """One exposition line: ``name{labels} value`` (pre-escaping)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(
+        self, name: str, labels: Sequence[Tuple[str, str]], value: float
+    ) -> None:
+        self.name = name
+        self.labels = tuple(labels)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sample({self.name!r}, {self.labels!r}, {self.value!r})"
+
+
+class _Child:
+    """Base for per-label-set metric children; subclasses hold values."""
+
+    __slots__ = ("_family",)
+
+    def __init__(self, family: "MetricFamily") -> None:
+        self._family = family
+
+    @property
+    def _lock(self) -> threading.Lock:
+        return self._family._registry._lock
+
+
+class Counter(_Child):
+    """Monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Child):
+    """A value that can go up and down (queue depth, subscriber count)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(_Child):
+    """Bucketed observations (wall times, latencies).
+
+    Buckets store *non*-cumulative counts internally; :meth:`snapshot`
+    (and therefore exposition) returns the conventional cumulative form
+    ending in the implicit ``+Inf`` bucket, whose count equals the total
+    observation count.
+    """
+
+    __slots__ = ("_counts", "_sum", "_count")
+
+    def __init__(self, family: "MetricFamily") -> None:
+        super().__init__(family)
+        # one slot per finite bound, plus the +Inf overflow slot
+        self._counts = [0] * (len(family.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        bounds = self._family.buckets
+        # linear scan: bucket lists are short (~10) and observation sites
+        # are per-run / per-request, not per-event
+        i = 0
+        n = len(bounds)
+        while i < n and value > bounds[i]:
+            i += 1
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``[(upper_bound, cumulative_count), ..., (inf, total)]``."""
+        out = []
+        running = 0
+        for bound, n in zip(self._family.buckets, self._counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one metric name (one per label-value tuple)."""
+
+    __slots__ = (
+        "name", "help", "type", "labelnames", "buckets", "_children",
+        "_registry",
+    )
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        type: str,
+        labelnames: Tuple[str, ...],
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not _METRIC_NAME.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in labelnames:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name: {label!r}")
+            if label in _RESERVED_LABELS:
+                raise ValueError(f"label name {label!r} is reserved")
+        if type == "histogram":
+            buckets = tuple(sorted(float(b) for b in buckets))
+            if not buckets:
+                raise ValueError("histograms need at least one bucket")
+            if any(b != b or b == float("inf") for b in buckets):
+                raise ValueError(
+                    "explicit NaN/+Inf bucket bounds are not allowed "
+                    "(+Inf is implicit)"
+                )
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.type = type
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: Dict[Tuple[str, ...], _Child] = {}
+
+    # ------------------------------------------------------------ access
+
+    def labels(self, *values: object, **kv: object) -> _Child:
+        """The child for one label-value combination (created on first
+        use).  Accepts positional values in ``labelnames`` order or the
+        same set as keywords."""
+        if kv:
+            if values:
+                raise ValueError("pass labels positionally or by keyword, "
+                                 "not both")
+            try:
+                values = tuple(kv.pop(name) for name in self.labelnames)
+            except KeyError as exc:
+                raise ValueError(
+                    f"{self.name} is missing label {exc.args[0]!r}"
+                ) from None
+            if kv:
+                raise ValueError(
+                    f"{self.name} has no label(s) {sorted(kv)} "
+                    f"(declared: {list(self.labelnames)})"
+                )
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes {len(self.labelnames)} label value(s) "
+                f"{list(self.labelnames)}, got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._registry._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = _CHILD_TYPES[self.type](self)
+                    self._children[key] = child
+        return child
+
+    def _anonymous(self) -> _Child:
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} declares labels {list(self.labelnames)}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    # Convenience: an unlabeled family is usable directly.
+    def inc(self, amount: float = 1.0) -> None:
+        self._anonymous().inc(amount)  # type: ignore[union-attr]
+
+    def set(self, value: float) -> None:
+        self._anonymous().set(value)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._anonymous().dec(amount)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        self._anonymous().observe(value)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        return self._anonymous().value  # type: ignore[union-attr]
+
+    # -------------------------------------------------------- collection
+
+    def samples(self) -> List[Sample]:
+        """Exposition samples for every child, label-sorted.
+
+        Called under the registry lock by :meth:`MetricsRegistry.collect`.
+        """
+        out: List[Sample] = []
+        for key in sorted(self._children):
+            child = self._children[key]
+            labels = tuple(zip(self.labelnames, key))
+            if self.type == "histogram":
+                assert isinstance(child, Histogram)
+                for bound, cum in child.cumulative():
+                    le = "+Inf" if bound == float("inf") else _format_bound(bound)
+                    out.append(Sample(
+                        self.name + "_bucket", labels + (("le", le),), cum
+                    ))
+                out.append(Sample(self.name + "_sum", labels, child.sum))
+                out.append(Sample(self.name + "_count", labels, child.count))
+            else:
+                out.append(Sample(self.name, labels, child.value))  # type: ignore[union-attr]
+        return out
+
+
+def _format_bound(bound: float) -> str:
+    """``0.5`` -> ``"0.5"``, ``5.0`` -> ``"5.0"`` (stable repr form)."""
+    return repr(bound) if bound != int(bound) else f"{bound:.1f}"
+
+
+class MetricsRegistry:
+    """A process's (or test's) set of metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------- registration
+
+    def _family(
+        self,
+        name: str,
+        help: str,
+        type: str,
+        labelnames: Iterable[str],
+        **extra: object,
+    ) -> MetricFamily:
+        labelnames = tuple(labelnames)
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(
+                        self, name, help, type, labelnames, **extra  # type: ignore[arg-type]
+                    )
+                    self._families[name] = family
+                    return family
+        if family.type != type or family.labelnames != labelnames:
+            raise ValueError(
+                f"metric {name!r} is already registered as a {family.type} "
+                f"with labels {list(family.labelnames)}; cannot re-register "
+                f"as a {type} with labels {list(labelnames)}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, help, "counter", labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, help, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(
+            name, help, "histogram", labelnames, buckets=tuple(buckets)
+        )
+
+    # -------------------------------------------------------- collection
+
+    def collect(self) -> List[MetricFamily]:
+        """Registered families, name-sorted (for exposition)."""
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    def snapshot(self) -> List[Tuple[MetricFamily, List[Sample]]]:
+        """Every family with its samples, read atomically.
+
+        The whole walk happens under the registry lock, so a scrape
+        racing concurrent updates sees one consistent point in time
+        (histogram bucket counts always sum to ``_count``, etc.).
+        """
+        with self._lock:
+            return [
+                (family, family.samples())
+                for family in (
+                    self._families[n] for n in sorted(self._families)
+                )
+            ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+
+# --------------------------------------------------------------------------
+# The process-wide registry and the zero-cost guard.
+
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def registry() -> Optional[MetricsRegistry]:
+    """The armed process-wide registry, or ``None`` when disarmed.
+
+    Instrumentation sites call this and skip all work on ``None`` --
+    the same discipline as the tracing layer's ``trace is not None``.
+    """
+    return _REGISTRY
+
+
+def arm(reg: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Arm process-wide telemetry; idempotent.
+
+    With no argument, keeps the currently armed registry (creating one
+    on first call).  Passing a registry installs *that* one -- tests use
+    this to isolate their counters.
+    """
+    global _REGISTRY
+    if reg is not None:
+        _REGISTRY = reg
+    elif _REGISTRY is None:
+        _REGISTRY = MetricsRegistry()
+    return _REGISTRY
+
+
+def disarm() -> None:
+    """Disarm process-wide telemetry (sites go back to no-ops)."""
+    global _REGISTRY
+    _REGISTRY = None
+
+
+def counter_value(name: str, **labels: str) -> float:
+    """Current value of a counter/gauge child, or 0.0 when disarmed /
+    never touched.  A read-side convenience for report surfaces (CLI
+    ``cache stats``, service ``/stats``)."""
+    reg = _REGISTRY
+    if reg is None:
+        return 0.0
+    family = reg._families.get(name)
+    if family is None:
+        return 0.0
+    key = tuple(str(labels[n]) for n in family.labelnames if n in labels)
+    if len(key) != len(family.labelnames):
+        return 0.0
+    child = family._children.get(key)
+    if child is None or isinstance(child, Histogram):
+        return 0.0
+    return child.value  # type: ignore[union-attr]

@@ -99,9 +99,11 @@ def test_cold_post_simulates_once_end_to_end(env):
     direct = run_broadcast_simulation(config)
     assert first["digest"] == config_digest(config)
     expected = result_to_dict(direct)
-    # The perf block carries wall-clock timings; everything else is exact.
-    result.pop("perf", None)
-    expected.pop("perf", None)
+    # perf and resources carry wall-clock timings and host GC/RSS noise;
+    # everything else is exact.
+    for doc in (result, expected):
+        doc.pop("perf", None)
+        doc.pop("resources", None)
     assert result == expected
     assert env.service.runner.perf.simulated == before + 1
     # Now warm: the run status endpoint reports done.
@@ -165,3 +167,101 @@ def test_sse_events_replay_and_terminate(env):
     }
     assert events[-1]["status"] == "complete"
     assert events[-1]["completed_runs"] == env.plan.total
+
+
+def test_metrics_endpoint_serves_valid_exposition(env):
+    import urllib.request
+
+    from repro.telemetry import CONTENT_TYPE, validate_exposition
+
+    # Generate at least one counted request first.
+    env.client.health()
+    with urllib.request.urlopen(env.handle.base_url + "/metrics") as resp:
+        assert resp.status == 200
+        assert resp.headers["Content-Type"] == CONTENT_TYPE
+        text = resp.read().decode("utf-8")
+    types = validate_exposition(text)
+    assert types.get("repro_http_requests_total") == "counter"
+    assert types.get("repro_http_request_seconds") == "histogram"
+    assert 'endpoint="/healthz"' in text
+    # Label values are route templates, never raw per-digest paths.
+    assert "/results/<digest>" in text or "repro_http" in text
+
+
+def test_metrics_requests_label_on_templates_not_paths(env):
+    import urllib.request
+
+    run = env.plan.runs[0]
+    env.client.get_result(run.digest)
+    with urllib.request.urlopen(env.handle.base_url + "/metrics") as resp:
+        text = resp.read().decode("utf-8")
+    assert 'endpoint="/results/<digest>"' in text
+    assert run.digest not in text
+
+
+def test_sse_heartbeat_keeps_idle_stream_alive(tmp_path):
+    """A running-but-quiet campaign stream must emit SSE comment frames
+    at the heartbeat interval, and the client must not surface them."""
+    import json
+    import socket
+    import time
+
+    campaign_root = tmp_path / "campaigns"
+    camp = campaign_root / "quiet"
+    camp.mkdir(parents=True)
+    (camp / "manifest.json").write_text(json.dumps({
+        "campaign_id": "quiet", "name": "quiet", "status": "running",
+        "total_runs": 3, "completed_runs": 0,
+    }))
+    service = CampaignService(
+        tmp_path / "cache", campaign_root=campaign_root,
+        max_workers=1, port=0, poll_interval=0.02, sse_heartbeat=0.08,
+    )
+    handle = serve_in_background(service)
+    try:
+        sock = socket.create_connection(
+            ("127.0.0.1", handle.port), timeout=10
+        )
+        try:
+            sock.sendall(
+                b"GET /campaigns/quiet/events HTTP/1.1\r\nHost: t\r\n\r\n"
+            )
+            sock.settimeout(5)
+            buf = b""
+            deadline = time.monotonic() + 5
+            while (
+                buf.count(b": heartbeat\r\n\r\n") < 2
+                and time.monotonic() < deadline
+            ):
+                buf += sock.recv(4096)
+            assert buf.count(b": heartbeat\r\n\r\n") >= 2
+            # While subscribed, the gauge reports this connection.
+            assert service.telemetry.gauge(
+                "repro_sse_subscribers"
+            ).value == 1.0
+            # Finish the campaign so the stream ends server-side before
+            # teardown (avoids killing the handler coroutine mid-write).
+            (camp / "manifest.json").write_text(json.dumps({
+                "campaign_id": "quiet", "name": "quiet",
+                "status": "complete", "total_runs": 3, "completed_runs": 3,
+            }))
+            while b"event: end" not in buf:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                buf += chunk
+        finally:
+            sock.close()
+        deadline = time.monotonic() + 5
+        while (
+            service.telemetry.gauge("repro_sse_subscribers").value > 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+    finally:
+        handle.stop()
+
+
+def test_sse_heartbeat_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="sse_heartbeat"):
+        CampaignService(tmp_path / "cache", sse_heartbeat=0.0)

@@ -326,3 +326,104 @@ def test_sweep_command_scheme_param_must_fit_every_scheme():
                 "--scheme-param", "p=0.8", "--maps", "1",
             ]
         )
+
+
+# ------------------------------------------------------- bench and telemetry
+
+
+def _write_bench(tmp_path, events_per_sec):
+    import json
+
+    path = tmp_path / "BENCH_kernel.json"
+    path.write_text(json.dumps({
+        "bench": "kernel",
+        "platform": {"cpus": 4},
+        "events_per_sec": events_per_sec,
+        "wall_time": 1.0,
+    }))
+    return path
+
+
+def test_bench_record_and_check_pass(capsys, tmp_path):
+    history = tmp_path / "bench_history.jsonl"
+    bench = _write_bench(tmp_path, 1000.0)
+    assert main([
+        "bench", "record", str(bench), "--history", str(history),
+    ]) == 0
+    assert "recorded 'kernel'" in capsys.readouterr().out
+    assert main([
+        "bench", "record", str(bench), "--history", str(history),
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["bench", "check", "--history", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "events_per_sec" in out
+    assert "ok: no gated metric regressed" in out
+
+
+def test_bench_check_fails_on_regression(capsys, tmp_path):
+    history = tmp_path / "bench_history.jsonl"
+    for value in (1000.0, 1010.0, 990.0):
+        main([
+            "bench", "record", str(_write_bench(tmp_path, value)),
+            "--history", str(history),
+        ])
+    capsys.readouterr()
+    # 50% drop against a ~1000 median baseline: gate must exit non-zero.
+    main([
+        "bench", "record", str(_write_bench(tmp_path, 500.0)),
+        "--history", str(history),
+    ])
+    assert main(["bench", "check", "--history", str(history)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert "FAIL" in out
+
+
+def test_bench_record_missing_file_exits(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "bench", "record", str(tmp_path / "nope.json"),
+            "--history", str(tmp_path / "h.jsonl"),
+        ])
+
+
+def test_cache_stats_hit_rate_line(capsys, tmp_path, spec_path):
+    from repro.telemetry.registry import MetricsRegistry, arm, disarm, registry
+
+    cache_dir = tmp_path / "cache"
+    run_args = [
+        "campaign", "run", str(spec_path),
+        "--dir", str(tmp_path / "camp"), "--jobs", "1", "--quiet",
+        "--cache-dir", str(cache_dir),
+    ]
+    previous = registry()
+    try:
+        disarm()
+        main(run_args)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "hit rate     n/a (no lookups" in capsys.readouterr().out
+
+        arm(MetricsRegistry())
+        main(run_args)  # warm: both runs come back as hits
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate     100.0% (2/2 lookups since process start)" in out
+    finally:
+        arm(previous) if previous is not None else disarm()
+
+
+def test_campaign_run_resources_flag(capsys, tmp_path, spec_path):
+    import json
+
+    directory = tmp_path / "camp"
+    assert main([
+        "campaign", "run", str(spec_path),
+        "--dir", str(directory), "--jobs", "1", "--quiet", "--resources",
+    ]) == 0
+    payload = json.loads((directory / "results.json").read_text())
+    assert payload["resources"]["runs_sampled"] == 2
+    assert payload["resources"]["peak_rss_bytes"] > 0

@@ -1,0 +1,24 @@
+"""Telemetry test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.registry import MetricsRegistry, arm, disarm, registry
+
+
+@pytest.fixture
+def fresh_registry():
+    """Arm a fresh isolated registry; restore prior state on teardown.
+
+    Telemetry arming is process-global, so tests must never leak their
+    registry (or their disarming) into the rest of the suite.
+    """
+    previous = registry()
+    reg = MetricsRegistry()
+    arm(reg)
+    yield reg
+    if previous is None:
+        disarm()
+    else:
+        arm(previous)

@@ -1,0 +1,149 @@
+"""Prometheus exposition edge cases: escaping, cumulativity, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry.registry import disarm
+from repro.telemetry.expose import (
+    CONTENT_TYPE,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.telemetry.registry import MetricsRegistry
+
+
+def test_content_type_pins_format_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_empty_registry_renders_empty_and_validates():
+    assert render_prometheus(MetricsRegistry()) == ""
+    assert validate_exposition("") == {}
+
+
+def test_disarmed_global_renders_empty(fresh_registry):
+    disarm()
+    assert render_prometheus() == ""
+
+
+def test_counter_help_type_and_value(fresh_registry):
+    fresh_registry.counter("t_total", "Things counted.").inc(42)
+    text = render_prometheus(fresh_registry)
+    assert "# HELP t_total Things counted.\n" in text
+    assert "# TYPE t_total counter\n" in text
+    assert "t_total 42.0\n" in text
+    assert validate_exposition(text) == {"t_total": "counter"}
+
+
+@pytest.mark.parametrize(
+    "raw, escaped",
+    [
+        ('say "hi"', r"say \"hi\""),
+        ("back\\slash", r"back\\slash"),
+        ("two\nlines", r"two\nlines"),
+        ('all\\of "them"\ntogether', r'all\\of \"them\"\ntogether'),
+    ],
+)
+def test_label_value_escaping(fresh_registry, raw, escaped):
+    fresh_registry.counter("t_total", "", ("scheme",)).labels(raw).inc()
+    text = render_prometheus(fresh_registry)
+    assert f't_total{{scheme="{escaped}"}} 1.0' in text
+    # The validator must accept what the renderer emits...
+    validate_exposition(text)
+    # ...and no raw newline may survive inside any sample line.
+    for line in text.splitlines():
+        assert "\n" not in line
+
+
+def test_help_text_escaping(fresh_registry):
+    fresh_registry.counter("t_total", "line one\nline two \\ slash")
+    text = render_prometheus(fresh_registry)
+    assert r"# HELP t_total line one\nline two \\ slash" in text
+    validate_exposition(text)
+
+
+def test_histogram_exposition_is_cumulative_with_inf(fresh_registry):
+    h = fresh_registry.histogram("t_seconds", "Times.", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 0.7, 5.0):
+        h.observe(v)
+    text = render_prometheus(fresh_registry)
+    assert 't_seconds_bucket{le="0.1"} 1.0' in text
+    assert 't_seconds_bucket{le="1.0"} 3.0' in text
+    assert 't_seconds_bucket{le="+Inf"} 4.0' in text
+    assert "t_seconds_count 4.0" in text
+    assert "t_seconds_sum 6.25" in text
+    assert validate_exposition(text) == {"t_seconds": "histogram"}
+
+
+def test_labeled_histogram_keeps_le_last(fresh_registry):
+    fam = fresh_registry.histogram(
+        "t_seconds", "", ("endpoint",), buckets=(1.0,)
+    )
+    fam.labels("/stats").observe(0.5)
+    text = render_prometheus(fresh_registry)
+    assert 't_seconds_bucket{endpoint="/stats",le="1.0"} 1.0' in text
+    validate_exposition(text)
+
+
+def test_validator_rejects_broken_documents():
+    with pytest.raises(ValueError, match="no # TYPE"):
+        validate_exposition("loose_metric 1.0")
+    with pytest.raises(ValueError, match="malformed TYPE"):
+        validate_exposition("# TYPE t summary")
+    with pytest.raises(ValueError, match="malformed sample"):
+        validate_exposition("# TYPE t counter\nt one")
+    bad_cumulative = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1.0"} 5.0\n'
+        'h_bucket{le="+Inf"} 3.0\n'
+        "h_sum 1.0\nh_count 3.0"
+    )
+    with pytest.raises(ValueError, match="not cumulative"):
+        validate_exposition(bad_cumulative)
+    missing_inf = "# TYPE h histogram\n" 'h_bucket{le="1.0"} 1.0\nh_count 1.0'
+    with pytest.raises(ValueError, match=r"\+Inf"):
+        validate_exposition(missing_inf)
+
+
+def test_nonfinite_values_render(fresh_registry):
+    fresh_registry.gauge("t_gauge").set(float("nan"))
+    text = render_prometheus(fresh_registry)
+    assert "t_gauge NaN" in text
+    validate_exposition(text)
+
+
+def test_scrape_during_concurrent_updates_is_consistent(fresh_registry):
+    """Every scraped document must be internally consistent while 4
+    writer threads hammer the registry: bucket counts cumulative, +Inf
+    equal to _count, every line well-formed (the snapshot-under-lock
+    guarantee)."""
+    hist = fresh_registry.histogram("t_seconds", buckets=(0.01, 0.1, 1.0))
+    ctr = fresh_registry.counter("t_total", "", ("worker",))
+    stop = threading.Event()
+
+    def writer(worker: int) -> None:
+        child = ctr.labels(str(worker))
+        value = 0.001
+        while not stop.is_set():
+            hist.observe(value)
+            child.inc()
+            value = (value * 31) % 2.0
+
+    threads = [
+        threading.Thread(target=writer, args=(i,), daemon=True)
+        for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(50):
+            text = render_prometheus(fresh_registry)
+            types = validate_exposition(text)  # raises on any tear
+            assert types == {"t_seconds": "histogram", "t_total": "counter"}
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(5)

@@ -1,0 +1,140 @@
+"""Telemetry threaded through runner / cache / campaigns, and the two
+core guarantees: zero observable effect disarmed, zero result drift armed.
+"""
+
+from __future__ import annotations
+
+from repro.campaigns.planner import plan_campaign
+from repro.campaigns.queue import CampaignExecutor
+from repro.campaigns.spec import spec_from_dict
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import run_broadcast_simulation
+from repro.telemetry import counter_value
+from repro.telemetry.registry import arm, disarm
+
+from tests.integration.test_determinism import fingerprint
+
+TINY = ScenarioConfig(
+    scheme="flooding", map_units=1, num_hosts=12, num_broadcasts=3, seed=1
+)
+
+
+def tiny_plan():
+    return plan_campaign(spec_from_dict({
+        "name": "telemetry-exec",
+        "grid": {"scheme": ["flooding"], "seed": [1, 2, 3, 4]},
+        "scenario": {"map_units": 1, "num_hosts": 12, "num_broadcasts": 3},
+    }))
+
+
+def test_armed_telemetry_does_not_change_results(fresh_registry):
+    armed = fingerprint(run_broadcast_simulation(TINY))
+    disarm()
+    disarmed = fingerprint(run_broadcast_simulation(TINY))
+    assert armed == disarmed
+
+
+def test_disarmed_runner_records_nothing(fresh_registry, tmp_path):
+    disarm()
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path / "cache")
+    runner.run_many([TINY])
+    arm(fresh_registry)
+    assert len(fresh_registry) == 0
+
+
+def test_runner_counters_by_source(fresh_registry, tmp_path):
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path / "cache")
+    runner.run_many([TINY, TINY.with_overrides(seed=2)])
+    warm = ParallelRunner(max_workers=1, cache_dir=tmp_path / "cache")
+    warm.run_many([TINY, TINY.with_overrides(seed=2), TINY.with_overrides(seed=3)])
+    assert counter_value("repro_runner_runs_started_total") == 5.0
+    assert counter_value("repro_runner_runs_completed_total", source="sim") == 3.0
+    assert counter_value("repro_runner_runs_completed_total", source="cache") == 2.0
+    assert counter_value("repro_cache_lookups_total", outcome="hit") == 2.0
+    assert counter_value("repro_cache_lookups_total", outcome="miss") == 3.0
+    assert counter_value("repro_cache_writes_total") == 3.0
+    hist = fresh_registry.histogram("repro_runner_run_wall_seconds")
+    assert hist.labels().count == 3  # cache hits never observed
+
+
+def test_cache_prune_counts_evictions(fresh_registry, tmp_path):
+    runner = ParallelRunner(max_workers=1, cache_dir=tmp_path / "cache")
+    runner.run_many([TINY, TINY.with_overrides(seed=2)])
+    report = runner.cache.prune(max_bytes=0)
+    assert report.removed == 2
+    assert counter_value("repro_cache_evictions_total") == 2.0
+
+
+def test_runner_perf_events_per_sec_excludes_cached_runs(tmp_path):
+    """Regression pin: cache hits must not count into events/sec.
+
+    A cached result's wall_time is the *original* run's measurement; if
+    a warm runner folded those into its throughput aggregate, events/sec
+    would report simulation speed it never achieved.
+    """
+    cold = ParallelRunner(max_workers=1, cache_dir=tmp_path / "cache")
+    cold.run_many([TINY])
+    assert cold.perf.simulated == 1
+    assert cold.perf.events > 0
+
+    warm = ParallelRunner(max_workers=1, cache_dir=tmp_path / "cache")
+    results = warm.run_many([TINY])
+    assert results[0].from_cache
+    assert warm.perf.cache_hits == 1
+    assert warm.perf.simulated == 0
+    assert warm.perf.events == 0
+    assert warm.perf.sim_wall_time == 0.0
+    assert warm.perf.events_per_sec == 0.0
+
+
+def test_campaign_executor_metrics(fresh_registry, tmp_path):
+    plan = tiny_plan()
+    directory = tmp_path / "camp"
+    executor = CampaignExecutor(
+        plan, directory, max_workers=1, checkpoint_every=2
+    )
+    outcome = executor.run()
+    assert outcome.status == "complete"
+    # fresh campaign: no resume recorded, queue drained to zero
+    assert counter_value("repro_campaign_resumes_total") == 0.0
+    assert counter_value("repro_campaign_queue_depth") == 0.0
+    assert counter_value("repro_checkpoint_appends_total") == 4.0
+    chunks = fresh_registry.histogram("repro_campaign_chunk_seconds")
+    assert chunks.labels().count == 2  # 4 runs / checkpoint_every=2
+    assert counter_value("repro_checkpoint_flushes_total") >= 2.0
+
+    # second session over the same directory is a resume (all cache hits)
+    CampaignExecutor(
+        plan, directory, max_workers=1, checkpoint_every=2
+    ).run()
+    assert counter_value("repro_campaign_resumes_total") == 1.0
+
+
+def test_campaign_resources_block_is_opt_in(tmp_path):
+    import json
+
+    plan = tiny_plan()
+    executor = CampaignExecutor(
+        plan, tmp_path / "camp", max_workers=1, include_resources=True
+    )
+    executor.run()
+    payload = json.loads((tmp_path / "camp" / "results.json").read_text())
+    block = payload["resources"]
+    assert block["runs_sampled"] == 4
+    assert block["peak_rss_bytes"] > 0
+    assert block["wall_time"] > 0
+
+    # default (opt-out) payload stays free of host-machine noise
+    executor2 = CampaignExecutor(plan, tmp_path / "camp2", max_workers=1)
+    executor2.run()
+    payload2 = json.loads((tmp_path / "camp2" / "results.json").read_text())
+    assert "resources" not in payload2
+
+
+def test_simulation_overhead_guard_is_cheap_smoke(fresh_registry):
+    """Armed or not, the per-site guard is one global read; this smoke
+    just pins that running armed doesn't explode (the real overhead
+    ceiling lives in benchmarks/test_telemetry_overhead.py)."""
+    result = run_broadcast_simulation(TINY)
+    assert result.events_processed > 0

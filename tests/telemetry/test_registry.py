@@ -1,0 +1,158 @@
+"""Metric registry semantics: types, labels, arming, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    arm,
+    counter_value,
+    disarm,
+    registry,
+)
+
+
+class TestCounter:
+    def test_increments(self, fresh_registry):
+        c = fresh_registry.counter("t_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self, fresh_registry):
+        c = fresh_registry.counter("t_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self, fresh_registry):
+        fam = fresh_registry.counter("t_total", "", ("outcome",))
+        fam.labels("hit").inc(3)
+        fam.labels("miss").inc()
+        assert fam.labels("hit").value == 3.0
+        assert fam.labels(outcome="miss").value == 1.0
+
+    def test_same_labels_same_child(self, fresh_registry):
+        fam = fresh_registry.counter("t_total", "", ("a", "b"))
+        assert fam.labels("x", "y") is fam.labels(a="x", b="y")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, fresh_registry):
+        g = fresh_registry.gauge("t_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13.0
+
+    def test_can_go_negative(self, fresh_registry):
+        g = fresh_registry.gauge("t_depth")
+        g.dec(4)
+        assert g.value == -4.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_inf(self, fresh_registry):
+        h = fresh_registry.histogram("t_seconds", buckets=(1.0, 5.0))
+        for v in (0.5, 0.9, 3.0, 100.0):
+            h.observe(v)
+        assert h.labels().cumulative() == [(1.0, 2), (5.0, 3), (float("inf"), 4)]
+        assert h.labels().count == 4
+        assert h.labels().sum == pytest.approx(104.4)
+
+    def test_boundary_lands_in_its_bucket(self, fresh_registry):
+        # Prometheus buckets are "le": a value equal to the bound counts.
+        h = fresh_registry.histogram("t_seconds", buckets=(1.0, 5.0))
+        h.observe(1.0)
+        assert h.labels().cumulative()[0] == (1.0, 1)
+
+    def test_buckets_sorted_and_validated(self, fresh_registry):
+        h = fresh_registry.histogram("t_seconds", buckets=(5.0, 1.0))
+        assert h.buckets == (1.0, 5.0)
+        with pytest.raises(ValueError, match="at least one bucket"):
+            fresh_registry.histogram("t2_seconds", buckets=())
+        with pytest.raises(ValueError, match=r"\+Inf is implicit"):
+            fresh_registry.histogram("t3_seconds", buckets=(1.0, float("inf")))
+
+
+class TestFamilyRegistration:
+    def test_same_name_same_family(self, fresh_registry):
+        a = fresh_registry.counter("t_total", "first help")
+        b = fresh_registry.counter("t_total", "ignored on re-lookup")
+        assert a is b
+
+    def test_type_conflict_raises(self, fresh_registry):
+        fresh_registry.counter("t_total")
+        with pytest.raises(ValueError, match="already registered"):
+            fresh_registry.gauge("t_total")
+
+    def test_labelnames_conflict_raises(self, fresh_registry):
+        fresh_registry.counter("t_total", "", ("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            fresh_registry.counter("t_total", "", ("b",))
+
+    def test_invalid_names_rejected(self, fresh_registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            fresh_registry.counter("0bad")
+        with pytest.raises(ValueError, match="invalid label name"):
+            fresh_registry.counter("t_total", "", ("bad-label",))
+        with pytest.raises(ValueError, match="reserved"):
+            fresh_registry.histogram("t_seconds", "", ("le",))
+
+    def test_wrong_label_arity(self, fresh_registry):
+        fam = fresh_registry.counter("t_total", "", ("a", "b"))
+        with pytest.raises(ValueError, match="label value"):
+            fam.labels("only-one")
+        with pytest.raises(ValueError, match="missing label"):
+            fam.labels(a="x")
+        with pytest.raises(ValueError, match="use .labels"):
+            fam.inc()
+
+
+class TestArming:
+    def test_disarmed_returns_none(self, fresh_registry):
+        disarm()
+        assert registry() is None
+
+    def test_arm_is_idempotent(self, fresh_registry):
+        assert arm() is fresh_registry
+
+    def test_arm_installs_explicit_registry(self, fresh_registry):
+        mine = MetricsRegistry()
+        assert arm(mine) is mine
+        assert registry() is mine
+
+    def test_counter_value_reads_and_defaults(self, fresh_registry):
+        fresh_registry.counter("t_total", "", ("k",)).labels("x").inc(7)
+        assert counter_value("t_total", k="x") == 7.0
+        assert counter_value("t_total", k="never") == 0.0
+        assert counter_value("absent_total") == 0.0
+        disarm()
+        assert counter_value("t_total", k="x") == 0.0
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_concurrent_updates_lose_nothing(fresh_registry):
+    """8 threads x 1000 incs must land exactly 8000 (lock coverage)."""
+    fam = fresh_registry.counter("t_total", "", ("worker",))
+    hist = fresh_registry.histogram("t_seconds")
+
+    def work(worker: int) -> None:
+        child = fam.labels(str(worker % 2))
+        for _ in range(1000):
+            child.inc()
+            hist.observe(0.01)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert fam.labels("0").value + fam.labels("1").value == 8000.0
+    assert hist.labels().count == 8000
